@@ -1,0 +1,38 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and both
+prints the series and appends it to ``benchmarks/results/<name>.txt``
+so the numbers survive pytest's output capture. EXPERIMENTS.md records
+the paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CampaignSimulator
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n[{name}]\n{text}")
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def campaign_result():
+    """The full paper-ledger campaign, simulated once per bench session.
+
+    Takes about a minute of wall time for 600,600 virtual node-hours;
+    Table 1 and Figs. 3-5 all read from this one run.
+    """
+    sim = CampaignSimulator(CampaignConfig(seed=2021))
+    return sim.run()

@@ -1,0 +1,67 @@
+"""Extension bench: the backfill policy knob vs the campaign's strict FCFS.
+
+§4.3: the campaign selected "first come, first served with no
+backfilling" for throughput. This bench shows the trade the knob makes:
+with a mixed job stream containing occasional whole-machine jobs,
+backfilling keeps GPUs busy while strict FCFS stalls behind the big
+job — at the cost of delaying it.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.sched.flux import FluxInstance
+from repro.sched.jobspec import JobSpec
+from repro.sched.matcher import MatchPolicy
+from repro.sched.resources import summit_like
+from repro.util.clock import EventLoop
+
+
+def _run(backfill_window):
+    loop = EventLoop()
+    flux = FluxInstance(summit_like(4), loop, policy=MatchPolicy.FIRST_MATCH)
+    flux.queue.backfill_window = backfill_window
+    rng = np.random.default_rng(0)
+    # Dirty every node first so the exclusive job must wait at the head.
+    pre = [
+        flux.submit(JobSpec(name="pre", ncores=3, ngpus=1, duration=900.0))
+        for _ in range(4)
+    ]
+    loop.run_until(30.0)
+    assert all(r.start_time is not None for r in pre)
+    big = flux.submit(JobSpec(name="big", nnodes=4, exclusive=True, duration=600.0))
+    small = [
+        flux.submit(JobSpec(name="cg-sim", ncores=3, ngpus=1,
+                            duration=float(rng.uniform(300, 900))))
+        for _ in range(48)
+    ]
+    loop.run_until(40_000.0)
+    waits = np.array([r.wait_time for r in small if r.wait_time is not None])
+    return {
+        "small_started": sum(1 for r in small if r.start_time is not None),
+        "small_wait_mean": float(waits.mean()) if waits.size else float("inf"),
+        "big_wait": big.wait_time,
+        "backfilled": flux.queue.backfilled,
+    }
+
+
+def test_backfill_tradeoff(benchmark):
+    def run_both():
+        return _run(0), _run(16)
+
+    strict, backfill = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = [
+        "mixed stream: 1 whole-machine job at the head + 48 GPU jobs behind it",
+        f"  strict FCFS : small jobs wait {strict['small_wait_mean']:.0f}s mean, "
+        f"big job waits {strict['big_wait']:.0f}s",
+        f"  backfill(16): small jobs wait {backfill['small_wait_mean']:.0f}s mean, "
+        f"big job waits {backfill['big_wait']:.0f}s, "
+        f"{backfill['backfilled']} jobs backfilled",
+    ]
+    report("ext_backfill_policy", lines)
+    # The trade: backfilling slashes small-job waits but delays the big job.
+    assert backfill["small_wait_mean"] < strict["small_wait_mean"]
+    assert backfill["backfilled"] > 0
+    assert backfill["big_wait"] > strict["big_wait"]
+    # ...and everything still completes under both policies.
+    assert strict["small_started"] == backfill["small_started"] == 48

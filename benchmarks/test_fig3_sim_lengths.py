@@ -1,0 +1,61 @@
+"""Fig. 3: distributions of CG and AA simulation lengths.
+
+Paper: 34,523 CG sims up to 5 µs (y-peak ~15k in the lowest bins, mass
+at the 5 µs cap) and 9,632 AA sims in the 50-65 ns cap band — "fewer
+but longer simulations" than the previous campaign.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.util.stats import Histogram
+
+
+def test_fig3_cg_length_distribution(campaign_result, benchmark):
+    lengths = np.array(campaign_result.cg_lengths_us)
+
+    def build_hist():
+        h = Histogram.linear(0.0, 5.0, 10)
+        h.add(lengths)
+        return h
+
+    hist = benchmark(build_hist)
+    lines = [f"CG simulations: {lengths.size:,} (paper: 34,523)",
+             f"mean length {lengths.mean():.2f} us (paper: ~2.8 us)"]
+    peak = max(int(hist.counts.max()), 1)
+    for lo, hi, n in hist.as_series():
+        lines.append(f"  {lo:4.1f}-{hi:4.1f} us | {'#' * int(40 * n / peak)} {n}")
+    report("fig3_cg_lengths", lines)
+
+    # Shape: a broad distribution over (0, 5] with visible mass both at
+    # short lengths (late starters) and at the cap (finished sims).
+    assert lengths.min() > 0 and lengths.max() <= 5.0
+    assert 1.5 <= lengths.mean() <= 4.0
+    assert hist.counts[0] > 0  # short partials exist
+    assert hist.counts[-1] > 0.1 * lengths.size  # a cap spike exists
+    assert np.count_nonzero(hist.counts) >= 8  # spread across bins
+
+
+def test_fig3_aa_length_distribution(campaign_result, benchmark):
+    lengths = np.array(campaign_result.aa_lengths_ns)
+
+    def build_hist():
+        h = Histogram.linear(0.0, 70.0, 14)
+        h.add(lengths)
+        return h
+
+    hist = benchmark(build_hist)
+    lines = [f"AA simulations: {lengths.size:,} (paper: 9,632)",
+             f"mean length {lengths.mean():.1f} ns (paper: ~33.8 ns)"]
+    peak = max(int(hist.counts.max()), 1)
+    for lo, hi, n in hist.as_series():
+        lines.append(f"  {lo:4.0f}-{hi:4.0f} ns | {'#' * int(40 * n / peak)} {n}")
+    report("fig3_aa_lengths", lines)
+
+    assert lengths.min() > 0 and lengths.max() <= 65.0
+    assert 20.0 <= lengths.mean() <= 50.0
+    # Completed sims land in the 50-65 ns cap band, like the paper.
+    in_cap_band = np.mean((lengths >= 50) & (lengths <= 65))
+    assert in_cap_band > 0.2
+    # And the campaign ran fewer-but-longer AA than CG in count terms.
+    assert lengths.size < len(campaign_result.cg_lengths_us)

@@ -1,0 +1,109 @@
+"""Fig. 4: per-scale simulation performance distributions.
+
+Paper: continuum performance is multi-modal (one mode per allocation
+size, ~0.96 ms/day at the full 3600 cores); CG clusters tightly around
+~1.04 µs/day at ~140k particles (with a slow MPI-bug epoch); AA around
+~13.98 ns/day at ~1.575M atoms — all with slow-run tails.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.util.stats import summarize
+
+
+def _by_scale(campaign_result, scale):
+    return [s for s in campaign_result.perf_samples if s.scale == scale]
+
+
+def test_fig4_continuum_performance(campaign_result, benchmark):
+    samples = _by_scale(campaign_result, "continuum")
+    rates = np.array([s.rate for s in samples])
+
+    stats = benchmark(lambda: summarize(rates))
+    # One sample per run; modes follow the allocation sizes in Table 1.
+    by_cores = {}
+    for s in samples:
+        by_cores.setdefault(int(s.system_size), []).append(s.rate)
+    lines = [f"continuum runs: {len(samples)}"]
+    for cores in sorted(by_cores):
+        vals = np.array(by_cores[cores])
+        lines.append(f"  {cores:>5} cores: {vals.mean():.3f} ms/day "
+                     f"(n={vals.size})")
+    lines.append(f"overall: mean {stats.mean:.3f}, max {stats.maximum:.3f} ms/day "
+                 "(paper: ~0.96 ms/day at 3600 cores)")
+    report("fig4_continuum", lines)
+
+    assert len(by_cores) >= 3  # multi-modal: one mode per allocation size
+    biggest = max(by_cores)
+    assert np.mean(by_cores[biggest]) == max(
+        np.mean(v) for v in by_cores.values()
+    )  # the full allocation is the fastest mode
+    assert 0.85 <= np.mean(by_cores[biggest]) <= 1.05
+
+
+def test_fig4_cg_performance(campaign_result, benchmark):
+    samples = _by_scale(campaign_result, "cg")
+    rates = np.array([s.rate for s in samples])
+    sizes = np.array([s.system_size for s in samples])
+
+    stats = benchmark(lambda: summarize(rates))
+    lines = [
+        f"CG sims: {rates.size:,}",
+        f"system size: {sizes.mean():,.0f} ± {sizes.std():,.0f} particles "
+        "(paper: ~140k)",
+        f"rate: mean {stats.mean:.3f}, median {stats.median:.3f}, "
+        f"min {stats.minimum:.3f}, max {stats.maximum:.3f} us/day "
+        "(paper: ~1.04 us/day, with a ~20% slow epoch)",
+    ]
+    report("fig4_cg", lines)
+
+    assert abs(sizes.mean() - 140_000) < 2_000
+    assert 0.9 <= stats.median <= 1.1
+    # The distribution is tight around the mean but has a slow tail
+    # (the MPI-bug epoch plus slow runs).
+    assert stats.std / stats.mean < 0.15
+    assert stats.minimum < 0.85 * stats.median
+
+
+def test_fig4_aa_performance(campaign_result, benchmark):
+    samples = _by_scale(campaign_result, "aa")
+    rates = np.array([s.rate for s in samples])
+    sizes = np.array([s.system_size for s in samples])
+
+    stats = benchmark(lambda: summarize(rates))
+    lines = [
+        f"AA sims: {rates.size:,}",
+        f"system size: {sizes.mean()/1e6:.3f}M ± {sizes.std()/1e3:.0f}k atoms "
+        "(paper: ~1.575M)",
+        f"rate: mean {stats.mean:.2f}, median {stats.median:.2f}, "
+        f"min {stats.minimum:.2f}, max {stats.maximum:.2f} ns/day "
+        "(paper: ~13.98 ns/day)",
+    ]
+    report("fig4_aa", lines)
+
+    assert abs(sizes.mean() - 1_575_000) < 20_000
+    assert 13.0 <= stats.median <= 15.0
+    assert stats.std / stats.mean < 0.10
+    assert stats.minimum < 0.9 * stats.median  # slow tail
+
+
+def test_fig4_mpi_bug_epoch_visible(campaign_result, benchmark):
+    """§5.1: 'about one third into the simulation, we identified an
+    issue ... causing it to deliver almost 20% less'. Early CG samples
+    are measurably slower."""
+    samples = _by_scale(campaign_result, "cg")
+    rates = np.array([s.rate for s in samples])
+    n = rates.size
+
+    def epoch_means():
+        return rates[: n // 4].mean(), rates[-n // 4:].mean()
+
+    early, late = benchmark(epoch_means)
+    report(
+        "fig4_mpi_bug",
+        [f"early-epoch CG rate {early:.3f} us/day vs late {late:.3f} us/day "
+         f"({(1 - early / late):.0%} slower; paper: ~20%)"],
+    )
+    assert early < late
+    assert 0.08 <= 1 - early / late <= 0.30

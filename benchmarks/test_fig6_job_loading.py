@@ -1,0 +1,112 @@
+"""Fig. 6: job-loading behaviour at 1000 vs 4000 nodes.
+
+Paper: "a typical 1000-node run took only an hour to load" at ~100
+jobs/min, while "our scaling run (using 4000 nodes) revealed some
+scheduling bottlenecks where the submitted jobs took much longer to
+run" — synchronous Q↔R communication let submission handling starve
+the matcher. The follow-up fixes (asynchronous Q↔R + first-match) are
+benchmarked as the third configuration.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.sched.loadtest import run_load_experiment
+from repro.sched.matcher import MatchPolicy
+from repro.sched.queue import QueueMode
+from repro.util import units
+
+
+def _row(label, r):
+    t99 = r.time_to_load(0.99)
+    t99_h = f"{t99 / units.HOUR:.2f}h" if t99 is not None else ">horizon"
+    return (
+        f"  {label:<28s} loaded {r.loaded_fraction:.0%}  t99={t99_h:<8s} "
+        f"peak backlog={r.peak_backlog():>6,}  start phase={r.start_phase_mean():.2f}"
+    )
+
+
+def test_fig6_1000_node_loading(benchmark):
+    """Left panel: 1000 nodes load in about an hour at ~100 jobs/min."""
+    result = benchmark.pedantic(
+        lambda: run_load_experiment(1000, 6000, max_hours=4.0),
+        rounds=1, iterations=1,
+    )
+    t99 = result.time_to_load(0.99)
+    rate = 0.99 * 6000 / (t99 / units.MINUTE)
+    report("fig6_1000_nodes", [
+        _row("1000n sync/low-id (campaign)", result),
+        f"  effective placement rate: {rate:.0f} jobs/min (paper: ~100/min)",
+    ])
+    assert result.loaded_fraction == 1.0
+    assert 0.5 * units.HOUR <= t99 <= 1.5 * units.HOUR  # "only an hour"
+    assert 80 <= rate <= 120
+    assert result.peak_backlog() <= 300  # queue never backs up
+
+
+def test_fig6_4000_node_bottleneck(benchmark):
+    """Right panel: the same configuration at 4000 nodes starves."""
+    result = benchmark.pedantic(
+        lambda: run_load_experiment(4000, 24_000, max_hours=24.0),
+        rounds=1, iterations=1,
+    )
+    t99 = result.time_to_load(0.99)
+    report("fig6_4000_nodes_sync", [
+        _row("4000n sync/low-id (campaign)", result),
+        "  submission handling starves the matcher: pending jobs pile up",
+    ])
+    # Submission alone takes 4h at 100/min; the sync bottleneck pushes
+    # loading well past that, with a large standing backlog.
+    assert t99 is None or t99 > 4.5 * units.HOUR
+    assert result.peak_backlog() > 5_000
+    # Starts skew late within each submission window (intake first).
+    assert result.start_phase_mean() > 0.5
+
+
+def test_fig6_fixed_configuration(benchmark):
+    """§5.2 'Strategies for Further Scaling': async Q↔R + first-match
+    restores submission-limited loading at 4000 nodes."""
+    result = benchmark.pedantic(
+        lambda: run_load_experiment(
+            4000, 24_000,
+            policy=MatchPolicy.FIRST_MATCH,
+            mode=QueueMode.ASYNC,
+            max_hours=12.0,
+        ),
+        rounds=1, iterations=1,
+    )
+    t99 = result.time_to_load(0.99)
+    report("fig6_4000_nodes_fixed", [
+        _row("4000n async/first-match (fixed)", result),
+        f"  loading is submission-limited again "
+        f"(~{0.99 * 24000 / (t99 / units.MINUTE):.0f} jobs/min)",
+    ])
+    assert result.loaded_fraction == 1.0
+    assert t99 <= 4.5 * units.HOUR  # ≈ 24k jobs / 100 per min
+    assert result.peak_backlog() <= 300
+    assert result.start_phase_mean() < 0.3  # matches during intake
+
+
+def test_fig6_loading_curves_shape(benchmark):
+    """The cumulative-start curves: near-linear at 1000 nodes; the sync
+    4000-node curve falls behind the submission curve."""
+
+    def run_small_pair():
+        ok = run_load_experiment(250, 1500, max_hours=2.0)
+        slow = run_load_experiment(
+            2000, 6000, max_hours=6.0,
+        )
+        return ok, slow
+
+    ok, slow = benchmark.pedantic(run_small_pair, rounds=1, iterations=1)
+    ok_curve = np.cumsum(ok.starts_per_bin(600))
+    slow_curve = np.cumsum(slow.starts_per_bin(600))
+    lines = ["cumulative starts per 10 min (scaled experiment):",
+             f"  250n : {[int(x) for x in ok_curve[:8]]}",
+             f"  2000n: {[int(x) for x in slow_curve[:8]]}"]
+    report("fig6_curves", lines)
+    # The smaller machine finishes its (proportional) load sooner.
+    frac_ok = ok_curve / ok.njobs
+    frac_slow = slow_curve / slow.njobs
+    n = min(frac_ok.size, frac_slow.size)
+    assert np.all(frac_ok[:n] >= frac_slow[:n] - 1e-9)

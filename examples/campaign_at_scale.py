@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Replay the Summit campaign (Table 1) in virtual time on this machine.
+
+Runs the discrete-event campaign simulator over the paper's full
+allocation ledger (600,600 node hours) and prints the paper-facing
+summaries: the Table 1 ledger, §5.1 aggregate counters, Fig. 3-style
+length histograms, and the Fig. 5 occupancy headline.
+
+Run:  python examples/campaign_at_scale.py [--small]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig, CampaignSimulator, RunSpec
+from repro.util.stats import Histogram, fraction_at_least
+
+SMALL_LEDGER = (RunSpec(100, 6, 2), RunSpec(250, 8, 2), RunSpec(500, 12, 1))
+
+
+def ascii_hist(hist: Histogram, width: int = 40, unit: str = "") -> None:
+    peak = max(int(hist.counts.max()), 1)
+    for lo, hi, count in hist.as_series():
+        bar = "#" * int(width * count / peak)
+        print(f"    {lo:6.1f}-{hi:6.1f} {unit} | {bar} {count}")
+
+
+def main() -> None:
+    small = "--small" in sys.argv
+    if small:
+        config = CampaignConfig(ledger=SMALL_LEDGER, seed=2021)
+    else:
+        config = CampaignConfig(seed=2021)  # the full paper ledger
+    label = "scaled-down" if small else "full paper"
+    print(f"Simulating the {label} ledger (virtual time)...")
+    result = CampaignSimulator(config).run()
+
+    print("\n--- Table 1: the allocation ledger ---")
+    print(f"  {'#nodes':>8} {'wall-time':>10} {'#runs':>6} {'node hours':>12}")
+    for row in result.table1:
+        print(f"  {row['nnodes']:>8} {row['walltime_hours']:>9}h "
+              f"{row['runs']:>6} {row['node_hours']:>12,.0f}")
+    print(f"  total node hours: {result.total_node_hours():,.0f}")
+
+    c = result.counters
+    print("\n--- campaign aggregates (paper Section 5.1) ---")
+    print(f"  continuum simulated : {c['continuum_ms']:.1f} ms "
+          f"({c['snapshots']:,} snapshots)")
+    print(f"  patches created     : {c['patches_created']:,}")
+    print(f"  CG sims             : {c['cg_sims']:,} "
+          f"({c['cg_selection_percent']:.2f}% of patches), "
+          f"{c['cg_total_ms']:.1f} ms of CG trajectories")
+    print(f"  CG frame candidates : {c['frame_candidates']:,}")
+    print(f"  AA sims             : {c['aa_sims']:,} "
+          f"({c['aa_selection_percent']:.3f}% of frames), "
+          f"{c['aa_total_us']:.0f} us of AA trajectories")
+    print(f"  data produced       : {c['total_data_tb']:.0f} TB total, "
+          f"{c['data_tb_per_day']:.1f} TB/day at 1000-node pace")
+
+    print("\n--- Fig. 3: simulation length distributions ---")
+    cg_hist = Histogram.linear(0, 5.0, 10)
+    cg_hist.add(result.cg_lengths_us)
+    print("  CG lengths (us):")
+    ascii_hist(cg_hist, unit="us")
+    aa_hist = Histogram.linear(0, 65.0, 13)
+    aa_hist.add(result.aa_lengths_ns)
+    print("  AA lengths (ns):")
+    ascii_hist(aa_hist, unit="ns")
+
+    print("\n--- Fig. 5: resource occupancy ---")
+    gpu = np.array([e.gpu_occupancy for e in result.profile_events])
+    cpu = np.array([e.cpu_occupancy for e in result.profile_events])
+    print(f"  GPU: mean {gpu.mean():.2%}, median {np.median(gpu):.2%}, "
+          f">=98% occupied for {fraction_at_least(gpu, 0.98):.1%} of profile events")
+    print(f"  CPU: mean {cpu.mean():.2%}, median {np.median(cpu):.2%}")
+
+
+if __name__ == "__main__":
+    main()

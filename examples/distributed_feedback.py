@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Distributed deployment: the feedback loop over a real TCP KV cluster.
+
+The campaign's Redis cluster lived on 20 dedicated nodes, with every
+compute node's analysis pushing RDFs over the network. This example
+spins up a small networked KV cluster (real sockets, in this process),
+streams RDF frames from "simulation" threads, and runs the actual
+CG→continuum feedback manager against it — the same manager class used
+with in-process stores, pointed at the wire.
+
+Run:  python examples/distributed_feedback.py
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.app.feedback import CGToContinuumFeedback
+from repro.datastore.netkv import NetKVServer, NetKVStore
+from repro.sims.cg.analysis import RDFResult
+from repro.sims.continuum.ddft import ContinuumConfig, ContinuumSim
+
+N_SERVERS = 4
+N_SIM_THREADS = 6
+FRAMES_PER_SIM = 40
+
+
+def simulation_worker(store: NetKVStore, sim_id: str, rng: np.random.Generator) -> None:
+    """Stands in for one CG simulation+analysis job pushing RDFs."""
+    edges = np.linspace(0, 3, 13)
+    for frame in range(FRAMES_PER_SIM):
+        g = np.ones((2, 12))
+        g[0, :4] += rng.random()  # type-0 enrichment near the protein
+        rdf = RDFResult(sim_id=sim_id, time=float(frame), edges=edges, g=g)
+        store.write(f"rdf/live/{sim_id}-{frame:03d}", rdf.to_bytes())
+
+
+def main() -> None:
+    print(f"Starting {N_SERVERS} networked KV shards...")
+    servers = [NetKVServer().start() for _ in range(N_SERVERS)]
+    addresses = [s.address for s in servers]
+    print(f"  listening on {addresses}")
+
+    store = NetKVStore.connect(addresses)
+    continuum = ContinuumSim(ContinuumConfig(grid=16, n_inner=2, n_outer=2,
+                                             n_proteins=2, dt=0.25, seed=0))
+    feedback = CGToContinuumFeedback(store, continuum)
+
+    print(f"Streaming RDFs from {N_SIM_THREADS} concurrent simulation threads...")
+    rng = np.random.default_rng(0)
+    threads = [
+        threading.Thread(target=simulation_worker,
+                         args=(NetKVStore.connect(addresses), f"cg{i:02d}",
+                               np.random.default_rng(i)))
+        for i in range(N_SIM_THREADS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    push_time = time.perf_counter() - t0
+    total = N_SIM_THREADS * FRAMES_PER_SIM
+    print(f"  pushed {total} frames over TCP in {push_time:.2f}s "
+          f"({total/push_time:,.0f} frames/s)")
+
+    print("Running a feedback iteration against the cluster...")
+    t0 = time.perf_counter()
+    report = feedback.run_iteration()
+    print(f"  processed {report.n_items} frames in "
+          f"{time.perf_counter() - t0:.2f}s; continuum couplings now at "
+          f"version {continuum.coupling_version}")
+    print(f"  live namespace emptied: {len(store.keys('rdf/live/'))} left, "
+          f"{len(store.keys('rdf/done/'))} tagged done")
+
+    store.close()
+    for s in servers:
+        s.stop()
+    print("Cluster shut down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — a from-scratch reproduction of the MuMMI multiscale workflow framework.
+
+This package reimplements the system described in "Generalizable
+Coordination of Large Multiscale Workflows: Challenges and Learnings at
+Scale" (SC '21): the coordination layer (data management, job
+scheduling, workflow management, ML-driven sampling, in situ feedback)
+plus simulated substrates for the three resolution scales (continuum,
+coarse-grained, all-atom) and a discrete-event campaign simulator that
+stands in for the Summit supercomputer.
+
+Subpackages
+-----------
+util
+    Virtual clock, discrete-event loop, seeded RNG, I/O armoring.
+datastore
+    Abstract data interface with filesystem, indexed-tar (pytaridx) and
+    in-memory KV-cluster (Redis-like) backends.
+sched
+    Flux-like hierarchical scheduler: resource graph, queue manager,
+    pluggable matcher policies, Maestro-like adapter, emulation harness.
+sampling
+    DynIm-style importance sampling: farthest-point and binned samplers
+    over encoded point objects, with exact/approximate ANN backends.
+ml
+    From-scratch NumPy neural networks used as the patch encoder.
+sims
+    The three simulation scales and the inter-scale mapping tools.
+core
+    The Workflow Manager and its four concurrent tasks, job tracking,
+    feedback management, and the campaign simulator.
+app
+    The RAS-RAF-membrane application wiring (selectors, job types,
+    feedback implementations, campaign presets).
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

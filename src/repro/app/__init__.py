@@ -1,0 +1,34 @@
+"""The RAS-RAF-membrane application (the "application" half of MuMMI).
+
+§4: "we design MuMMI as comprising two parts — the application and the
+coordination. The former defines the application scope ... what scales
+are relevant, what codes and/or simulation tools to use, what ML
+techniques are suitable, and how is the feedback performed?"
+
+This package is that application half for the paper's study: the two
+concrete feedback managers (CG→continuum RDF aggregation and AA→CG
+secondary-structure refinement), the frame-encoding bin layout, and a
+builder that assembles a complete three-scale workflow. Swapping this
+package out — different feedback, encodings, or simulation engines —
+is how the framework generalizes to other applications.
+"""
+
+from repro.app.feedback import CGToContinuumFeedback, AAToCGFeedback
+from repro.app.builder import build_application, Application
+from repro.app.routing import (
+    TWO_QUEUES,
+    FIVE_QUEUES,
+    state_router,
+    five_queue_router,
+)
+
+__all__ = [
+    "CGToContinuumFeedback",
+    "AAToCGFeedback",
+    "build_application",
+    "Application",
+    "TWO_QUEUES",
+    "FIVE_QUEUES",
+    "state_router",
+    "five_queue_router",
+]

@@ -1,0 +1,44 @@
+"""Patch-queue routing: which selector queue a patch samples from.
+
+§4.4 Task 2: "we incorporate five in-memory queues in the Patch
+Selector for sampling different protein configurations." The
+configuration classes are combinations of the protein's state and its
+local crowding; keeping one capped queue per class guarantees every
+class keeps contributing selections even when one dominates the
+candidate stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.core.patches import Patch
+from repro.sims.continuum.proteins import ProteinState
+
+__all__ = ["TWO_QUEUES", "FIVE_QUEUES", "state_router", "five_queue_router"]
+
+TWO_QUEUES: Tuple[str, ...] = ("ras", "ras-raf")
+
+FIVE_QUEUES: Tuple[str, ...] = (
+    "ras-isolated",
+    "ras-paired",
+    "ras-crowded",
+    "ras-raf-isolated",
+    "ras-raf-crowded",
+)
+
+
+def state_router(patch: Patch) -> str:
+    """The two-queue default: route by configurational state only."""
+    return "ras-raf" if patch.protein_state == ProteinState.RAS_RAF else "ras"
+
+
+def five_queue_router(patch: Patch) -> str:
+    """The paper-shaped five-queue layout: state x local crowding."""
+    if patch.protein_state == ProteinState.RAS_RAF:
+        return "ras-raf-isolated" if patch.n_neighbors == 0 else "ras-raf-crowded"
+    if patch.n_neighbors == 0:
+        return "ras-isolated"
+    if patch.n_neighbors == 1:
+        return "ras-paired"
+    return "ras-crowded"

@@ -1,0 +1,85 @@
+"""The coordination layer: Workflow Manager, trackers, feedback, campaign.
+
+§4.4: "MuMMI is coordinated by a configurable Workflow Manager (WM).
+Generically, the role of the WM is to couple the scales by consuming
+relevant data, supporting ML-based selection, spawning the
+corresponding simulations, and facilitating a feedback loop."
+
+- :mod:`~repro.core.patches` — Task 1: macro-data processing (the Patch
+  Creator).
+- :mod:`~repro.core.jobs` — Task 3: the generic, configurable Job
+  Tracker.
+- :mod:`~repro.core.feedback` — Task 4: the abstract Feedback Manager
+  with namespace-move tagging.
+- :mod:`~repro.core.wm` — the Workflow Manager tying the four
+  concurrent tasks together (Task 2, selection, lives in
+  :mod:`repro.sampling` and is wired in here).
+- :mod:`~repro.core.perfmodel` — published per-scale performance rates
+  (Fig. 4) used by the campaign simulator.
+- :mod:`~repro.core.profiling` — the resource-occupancy profiler
+  (Fig. 5).
+- :mod:`~repro.core.campaign` — the discrete-event campaign simulator
+  standing in for Summit (Table 1, Figs. 3-6).
+"""
+
+from repro.core.patches import Patch, PatchCreator
+from repro.core.jobs import JobTypeConfig, JobTracker
+from repro.core.feedback import FeedbackManager, FeedbackReport
+from repro.core.perfmodel import PerformanceModel, PerfSample
+from repro.core.profiling import OccupancyProfiler, ProfileEvent
+from repro.core.wm import WorkflowManager, WorkflowConfig
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CampaignSimulator,
+    RunSpec,
+    PAPER_LEDGER,
+)
+from repro.core.persistent import (
+    AllocationBroker,
+    ClusterSpec,
+    PersistentCampaign,
+)
+from repro.core.replay import (
+    ScheduleTimeline,
+    verify_selector_replay,
+    save_history,
+    load_history,
+)
+from repro.core.config import (
+    load_config_file,
+    workflow_config,
+    campaign_config,
+    application_kwargs,
+)
+
+__all__ = [
+    "Patch",
+    "PatchCreator",
+    "JobTypeConfig",
+    "JobTracker",
+    "FeedbackManager",
+    "FeedbackReport",
+    "PerformanceModel",
+    "PerfSample",
+    "OccupancyProfiler",
+    "ProfileEvent",
+    "WorkflowManager",
+    "WorkflowConfig",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignSimulator",
+    "RunSpec",
+    "PAPER_LEDGER",
+    "AllocationBroker",
+    "ClusterSpec",
+    "PersistentCampaign",
+    "ScheduleTimeline",
+    "verify_selector_replay",
+    "save_history",
+    "load_history",
+    "load_config_file",
+    "workflow_config",
+    "campaign_config",
+    "application_kwargs",
+]

@@ -1,0 +1,190 @@
+"""Configuration files for the workflow and campaign (paper §4.3-4.5).
+
+The paper customizes trackers, feedback, and campaign shape "using a
+combination of inherited classes and configuration files". This module
+is the configuration-file half: TOML or JSON documents are validated
+against the frozen config dataclasses and assembled into a ready
+application or campaign.
+
+Example (TOML)::
+
+    [application]
+    store_url = "kv://4"
+    n_lipid_types = 2
+    seed = 7
+
+    [workflow]
+    max_cg_sims = 3
+    cg_ready_target = 3
+
+    [campaign]
+    cg_gpu_fraction = 0.78
+    [[campaign.ledger]]
+    nnodes = 100
+    walltime_hours = 6
+    count = 5
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tomllib
+from typing import Any, Dict, Mapping, Type, TypeVar
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig, RunSpec
+from repro.core.jobs import JobTypeConfig
+from repro.core.wm import WorkflowConfig
+
+__all__ = [
+    "ConfigError",
+    "load_config_file",
+    "dataclass_from_mapping",
+    "workflow_config",
+    "campaign_config",
+    "application_kwargs",
+    "job_types",
+]
+
+T = TypeVar("T")
+
+
+class ConfigError(ValueError):
+    """Raised for unreadable, unknown, or ill-typed configuration."""
+
+
+def load_config_file(path: str) -> Dict[str, Any]:
+    """Parse a TOML (``.toml``) or JSON (anything else) config file."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise ConfigError(f"cannot read config file {path!r}: {exc}") from exc
+    if path.endswith(".toml"):
+        try:
+            return tomllib.loads(raw.decode("utf-8"))
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML in {path!r}: {exc}") from exc
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON in {path!r}: {exc}") from exc
+
+
+def dataclass_from_mapping(cls: Type[T], data: Mapping[str, Any], where: str = "") -> T:
+    """Build a (frozen) dataclass from a mapping, rejecting unknown keys.
+
+    Values pass through the dataclass's own ``__post_init__`` validation;
+    numeric fields accept ints where floats are declared.
+    """
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    field_map = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(field_map)
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {sorted(unknown)} in {where or cls.__name__}; "
+            f"valid keys: {sorted(field_map)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        declared = field_map[name].type
+        # Tolerate int -> float, and lists -> tuples for tuple fields.
+        if isinstance(value, int) and not isinstance(value, bool) and "float" in str(declared):
+            value = float(value)
+        if isinstance(value, list) and ("Tuple" in str(declared) or "tuple" in str(declared)):
+            value = tuple(value)
+        kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"invalid {where or cls.__name__}: {exc}") from exc
+
+
+def workflow_config(doc: Mapping[str, Any]) -> WorkflowConfig:
+    """The ``[workflow]`` section (or {}) as a WorkflowConfig."""
+    return dataclass_from_mapping(WorkflowConfig, doc.get("workflow", {}), "[workflow]")
+
+
+def campaign_config(doc: Mapping[str, Any]) -> CampaignConfig:
+    """The ``[campaign]`` section as a CampaignConfig (ledger included)."""
+    section = dict(doc.get("campaign", {}))
+    ledger = section.pop("ledger", None)
+    if ledger is not None:
+        specs = tuple(
+            dataclass_from_mapping(RunSpec, row, f"[campaign.ledger][{i}]")
+            for i, row in enumerate(ledger)
+        )
+        section["ledger"] = specs
+    return dataclass_from_mapping(CampaignConfig, section, "[campaign]")
+
+
+def _duration_sampler(spec: Mapping[str, Any], where: str):
+    """Build a duration sampler from config keys.
+
+    ``duration_hours`` gives a fixed runtime; ``duration_hours_mean``
+    (with optional ``duration_hours_std``) a truncated-normal one.
+    """
+    fixed = spec.get("duration_hours")
+    mean = spec.get("duration_hours_mean")
+    if fixed is not None and mean is not None:
+        raise ConfigError(f"{where}: give duration_hours OR duration_hours_mean")
+    if fixed is not None:
+        seconds = float(fixed) * 3600.0
+        return lambda rng: seconds
+    if mean is not None:
+        mu = float(mean) * 3600.0
+        sigma = float(spec.get("duration_hours_std", 0.0)) * 3600.0
+        return lambda rng: max(60.0, float(rng.normal(mu, sigma)))
+    return None
+
+
+def job_types(doc: Mapping[str, Any]) -> Dict[str, JobTypeConfig]:
+    """The ``[jobs.<name>]`` sections as JobTypeConfig objects.
+
+    This is the paper's "individual job specifications (e.g., commands
+    and resources)" config-file path: each section names a job type and
+    declares its resources, retries, and runtime distribution.
+    """
+    out: Dict[str, JobTypeConfig] = {}
+    for name, spec in doc.get("jobs", {}).items():
+        spec = dict(spec)
+        where = f"[jobs.{name}]"
+        sampler = _duration_sampler(spec, where)
+        for key in ("duration_hours", "duration_hours_mean", "duration_hours_std"):
+            spec.pop(key, None)
+        spec["name"] = name
+        spec["duration_sampler"] = sampler
+        allowed = {"name", "ncores", "ngpus", "nnodes", "max_retries",
+                   "duration_sampler"}
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ConfigError(f"unknown key(s) {sorted(unknown)} in {where}")
+        try:
+            out[name] = JobTypeConfig(**spec)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"invalid {where}: {exc}") from exc
+    return out
+
+
+_APPLICATION_KEYS = {
+    "store_url", "grid", "n_lipid_types", "n_proteins", "patch_grid",
+    "pretrain_encoder", "seed",
+}
+
+
+def application_kwargs(doc: Mapping[str, Any]) -> Dict[str, Any]:
+    """The ``[application]`` section as build_application keyword args,
+    with the ``[workflow]`` section attached when present."""
+    section = dict(doc.get("application", {}))
+    unknown = set(section) - _APPLICATION_KEYS
+    if unknown:
+        raise ConfigError(
+            f"unknown key(s) {sorted(unknown)} in [application]; "
+            f"valid keys: {sorted(_APPLICATION_KEYS)}"
+        )
+    if "workflow" in doc:
+        section["workflow"] = workflow_config(doc)
+    return section

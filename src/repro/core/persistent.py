@@ -1,0 +1,182 @@
+"""Persistent workflows across elastic allocations ("The Next Leap").
+
+The paper's closing outlook: "There is a growing need for developing
+persistent workflows to seamlessly connect software stacks and data
+services across allocations and even across clusters ... In future
+iterations of MuMMI, we envision a persistent workflow that can
+coordinate variable sized allocations as resources become available on
+different clusters."
+
+This module implements that envisioned capability on top of the
+campaign machinery:
+
+- :class:`AllocationBroker` — a model of one or more computing centers
+  offering allocations of varying size and length as resources free up
+  (seeded, so experiments are reproducible);
+- :class:`PersistentCampaign` — a campaign whose simulation registry,
+  selectors and counters survive across every granted allocation, on
+  whichever cluster it lands (Summit-shaped 6-GPU nodes, Lassen-shaped
+  4-GPU nodes, ...), exactly the "decouple compute from the system
+  state" idea.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.campaign import CampaignConfig, CampaignResult, CampaignSimulator
+from repro.sched.resources import ResourceGraph, lassen_like, summit_like
+from repro.util import units
+
+__all__ = ["ClusterSpec", "Allocation", "AllocationBroker", "PersistentCampaign"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One computing center the broker can grant allocations on."""
+
+    name: str
+    graph_builder: Callable[[int], ResourceGraph]
+    max_nodes: int
+    typical_queue_hours: float = 2.0
+    """Mean gap between allocation grants on this cluster."""
+
+    min_nodes: int = 10
+    max_walltime_hours: float = 24.0
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One granted batch allocation."""
+
+    cluster: str
+    nnodes: int
+    walltime_hours: float
+    granted_at_hours: float
+    graph_builder: Callable[[int], ResourceGraph] = field(compare=False, repr=False,
+                                                          default=summit_like)
+
+    @property
+    def node_hours(self) -> float:
+        return self.nnodes * self.walltime_hours
+
+
+DEFAULT_CLUSTERS: Tuple[ClusterSpec, ...] = (
+    ClusterSpec("summit", summit_like, max_nodes=4000, typical_queue_hours=4.0),
+    ClusterSpec("lassen", lassen_like, max_nodes=600, typical_queue_hours=1.5),
+)
+
+
+class AllocationBroker:
+    """Grants variable-sized allocations as (simulated) resources free up.
+
+    Grants on each cluster arrive as a Poisson-ish process; sizes and
+    walltimes are drawn between each cluster's bounds. The broker hands
+    out allocations in global grant-time order — the stream a persistent
+    workflow would subscribe to.
+    """
+
+    def __init__(
+        self,
+        clusters: Tuple[ClusterSpec, ...] = DEFAULT_CLUSTERS,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not clusters:
+            raise ValueError("broker needs at least one cluster")
+        self.clusters = clusters
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._next_grant = {
+            c.name: float(self.rng.exponential(c.typical_queue_hours)) for c in clusters
+        }
+
+    def next_allocation(self) -> Allocation:
+        """The next grant across all clusters, advancing broker time."""
+        name = min(self._next_grant, key=self._next_grant.get)
+        spec = next(c for c in self.clusters if c.name == name)
+        at = self._next_grant[name]
+        nnodes = int(self.rng.integers(spec.min_nodes, spec.max_nodes + 1))
+        walltime = float(self.rng.uniform(2.0, spec.max_walltime_hours))
+        self._next_grant[name] = at + walltime + float(
+            self.rng.exponential(spec.typical_queue_hours)
+        )
+        return Allocation(
+            cluster=name,
+            nnodes=nnodes,
+            walltime_hours=walltime,
+            granted_at_hours=at,
+            graph_builder=spec.graph_builder,
+        )
+
+    def take(self, n: int) -> List[Allocation]:
+        return [self.next_allocation() for _ in range(n)]
+
+
+class PersistentCampaign(CampaignSimulator):
+    """A campaign that consumes broker allocations until a budget is met.
+
+    Simulation state (the registry and in-flight lists) persists across
+    every allocation regardless of which cluster granted it; node-hour
+    accounting, occupancy profiles and emergent length distributions
+    aggregate over the whole span.
+    """
+
+    def __init__(
+        self,
+        broker: AllocationBroker,
+        node_hour_budget: float,
+        config: Optional[CampaignConfig] = None,
+    ) -> None:
+        if node_hour_budget <= 0:
+            raise ValueError("node_hour_budget must be positive")
+        super().__init__(config or CampaignConfig(ledger=()))
+        self.broker = broker
+        self.node_hour_budget = node_hour_budget
+        self.allocations_used: List[Allocation] = []
+        self._total_node_hours = node_hour_budget  # for the mpi-bug epoch rule
+
+    def run(self) -> CampaignResult:
+        c = self.config
+        continuum_ms_total = 0.0
+        spent = 0.0
+        by_cluster: Dict[str, float] = {}
+        while spent < self.node_hour_budget:
+            alloc = self.broker.next_allocation()
+            mpi_bug = spent < c.mpi_bug_fraction * self.node_hour_budget
+            run_info = self._execute_run(
+                alloc.nnodes, alloc.walltime_hours, mpi_bug,
+                graph_builder=alloc.graph_builder,
+            )
+            continuum_ms_total += run_info["continuum_ms"]
+            spent += alloc.node_hours
+            self._node_hours_done = spent
+            self.runs_completed += 1
+            by_cluster[alloc.cluster] = by_cluster.get(alloc.cluster, 0.0) + alloc.node_hours
+            self.allocations_used.append(alloc)
+            self.result.load_curves[alloc.nnodes] = run_info["start_log"]
+
+        self.result.table1 = [
+            {
+                "nnodes": a.nnodes,
+                "walltime_hours": a.walltime_hours,
+                "runs": 1,
+                "node_hours": a.node_hours,
+                "cluster": a.cluster,
+            }
+            for a in self.allocations_used
+        ]
+        for entry in self.registry.values():
+            if entry.length <= 0:
+                continue
+            if entry.scale == "cg":
+                self.result.cg_lengths_us.append(min(entry.length, entry.cap))
+            else:
+                self.result.aa_lengths_ns.append(min(entry.length, entry.cap))
+        self._finalize_counters(continuum_ms_total)
+        self.result.counters["node_hours"] = spent
+        self.result.counters["clusters_used"] = len(by_cluster)
+        for name, hours in by_cluster.items():
+            self.result.counters[f"node_hours_{name}"] = hours
+        return self.result

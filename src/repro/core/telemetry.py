@@ -1,0 +1,121 @@
+"""Workflow telemetry: one profiling report across every subsystem.
+
+§4.4 lists profiling among the WM's responsibilities, and §5.2's
+results are all reductions over profiling streams. This module gathers
+the counters every component already maintains — WM task counters, lock
+contention, per-type job tracker state, store I/O volume, and feedback
+iteration timing — into one structured report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.wm import WorkflowManager
+from repro.util import units
+
+__all__ = ["TelemetryReport", "collect_telemetry", "render_report"]
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """A structured snapshot of the whole workflow's health."""
+
+    rounds: int
+    counters: Dict[str, int]
+    lock_stats: Dict[str, int]
+    trackers: Dict[str, Dict[str, int]]
+    store_io: Dict[str, int]
+    feedback: List[Dict[str, Any]]
+    selectors: Dict[str, Any]
+
+    def data_written(self) -> int:
+        return self.store_io["bytes_written"]
+
+    def jobs_completed(self) -> int:
+        return sum(t["completed"] for t in self.trackers.values())
+
+    def feedback_items(self) -> int:
+        return sum(row["total_items"] for row in self.feedback)
+
+
+def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
+    """Snapshot every subsystem of a Workflow Manager."""
+    trackers = {
+        name: {
+            "active": tracker.nactive(),
+            "running": tracker.nrunning(),
+            "pending": tracker.npending(),
+            "completed": len(tracker.completed),
+            "abandoned": len(tracker.abandoned),
+        }
+        for name, tracker in wm.trackers.items()
+    }
+    feedback = [
+        {
+            "manager": type(mgr).__name__,
+            "iterations": len(mgr.reports),
+            "total_items": mgr.total_items,
+            "mean_seconds": (
+                sum(r.total_seconds for r in mgr.reports) / len(mgr.reports)
+                if mgr.reports else 0.0
+            ),
+        }
+        for mgr in wm.feedback_managers
+    ]
+    selectors = {
+        "patch_candidates": wm.patch_selector.ncandidates(),
+        "patch_selected": wm.patch_selector.nselected(),
+        "patch_queue_sizes": wm.patch_selector.queue_sizes(),
+        "patch_dropped": wm.patch_selector.dropped(),
+        "frame_candidates": wm.frame_selector.ncandidates(),
+        "frame_bin_coverage": wm.frame_selector.coverage(),
+    }
+    return TelemetryReport(
+        rounds=wm.rounds,
+        counters=dict(wm.counters),
+        lock_stats=wm.lock_stats(),
+        trackers=trackers,
+        store_io=wm.store.stats.as_dict(),
+        feedback=feedback,
+        selectors=selectors,
+    )
+
+
+def render_report(report: TelemetryReport) -> str:
+    """Human-readable rendering of a telemetry snapshot."""
+    lines = [f"workflow telemetry after {report.rounds} round(s)"]
+    lines.append("  pipeline counters:")
+    for key, value in report.counters.items():
+        lines.append(f"    {key:22s} {value}")
+    lines.append("  job trackers:")
+    for name, t in report.trackers.items():
+        lines.append(
+            f"    {name:12s} completed={t['completed']:<4d} active={t['active']:<3d} "
+            f"abandoned={t['abandoned']}"
+        )
+    io = report.store_io
+    lines.append(
+        f"  store I/O: {units.format_bytes(io['bytes_written'])} written / "
+        f"{units.format_bytes(io['bytes_read'])} read in "
+        f"{io['writes'] + io['reads']} ops"
+    )
+    for row in report.feedback:
+        lines.append(
+            f"  feedback {row['manager']}: {row['iterations']} iterations, "
+            f"{row['total_items']} items, mean {row['mean_seconds']*1e3:.1f} ms"
+        )
+    sel = report.selectors
+    lines.append(
+        f"  selectors: {sel['patch_candidates']} patch candidates "
+        f"({sel['patch_selected']} selected), "
+        f"{sel['frame_candidates']} frame candidates, "
+        f"bin coverage {sel['frame_bin_coverage']:.1%}"
+    )
+    lk = report.lock_stats
+    lines.append(
+        f"  locking: {lk['acquisitions']} acquisitions, "
+        f"{lk['contentions']} contentions"
+    )
+    return "\n".join(lines)

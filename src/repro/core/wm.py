@@ -1,0 +1,440 @@
+"""The Workflow Manager: the four concurrent coordination tasks.
+
+§4.4 defines the WM's job: consume coarse-scale data (Task 1), select
+important configurations (Task 2), schedule and manage jobs (Task 3),
+and facilitate feedback (Task 4) — while tracking everything for
+checkpoint/restore.
+
+This WM runs the *real* three-scale pipeline at laptop scale: an actual
+DDFT continuum simulation feeds the Patch Creator; patches are encoded
+by the (NumPy) ML encoder and ranked by the farthest-point Patch
+Selector; selected patches become CG systems via createsim and run on
+the CG engine whose online analysis streams RDFs into the feedback
+store and frame candidates into the binned Frame Selector; selected
+frames are backmapped and refined at the AA scale; and the two feedback
+paths update the continuum couplings and the CG force field in situ.
+
+Scale-out behaviour (occupancy, 24k jobs, TBs/day) is the campaign
+simulator's job (:mod:`repro.core.campaign`); this class is the
+functional workflow.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.feedback import FeedbackManager
+from repro.core.jobs import JobTracker, JobTypeConfig
+from repro.core.patches import Patch, PatchCreator
+from repro.datastore.base import DataStore
+from repro.ml.encoder import PatchEncoder
+from repro.sampling.binned import BinnedSampler, BinSpec
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.points import Point
+from repro.sched.adapter import SchedulerAdapter, ThreadAdapter
+from repro.util.locks import SharedState
+from repro.sims.aa.analysis import SecondaryStructureAnalysis
+from repro.sims.aa.engine import AAConfig, AASim
+from repro.sims.cg.analysis import CGAnalysis, FrameCandidate
+from repro.sims.cg.engine import CGConfig, CGSim
+from repro.sims.cg.forcefield import CGForceField
+from repro.sims.continuum.ddft import ContinuumSim
+from repro.sims.mapping.backmap import backmap
+from repro.sims.mapping.createsim import createsim
+from repro.sims.mapping.systems import AASystem, CGSystem
+
+__all__ = ["WorkflowConfig", "WorkflowManager"]
+
+
+@dataclass(frozen=True)
+class WorkflowConfig:
+    """Tunable knobs of the functional workflow."""
+
+    max_cg_sims: int = 2
+    """Concurrent CG simulations (GPU-job stand-ins)."""
+
+    max_aa_sims: int = 1
+    cg_ready_target: int = 2
+    """Prepared CG systems kept in anticipation (§4.4 Task 3: 'sets of CG
+    and AA simulations are kept prepared ... a trade-off between
+    readiness ... and simulating stale configurations')."""
+
+    aa_ready_target: int = 1
+    beads_per_type: int = 25
+    """Lipid beads per type in createsim (small for laptop scale)."""
+
+    cg_chunks_per_job: int = 3
+    cg_steps_per_chunk: int = 40
+    aa_chunks_per_job: int = 2
+    aa_steps_per_chunk: int = 30
+    patch_queue_cap: int = 1000
+    frame_bins: int = 6
+    frame_randomness: float = 0.1
+    seed: int = 0
+
+
+class WorkflowManager:
+    """Coordinates the three scales over real (small) simulations.
+
+    Parameters
+    ----------
+    macro:
+        The running continuum simulation.
+    encoder:
+        Patch encoder producing the 9-D novelty space. Its input dim
+        must match ``n_inner_types * patch_grid**2``.
+    forcefield:
+        The shared CG force field (AA→CG feedback mutates it).
+    store:
+        DataStore for patches, RDFs and SS patterns (one store, three
+        namespaces; any backend).
+    adapter:
+        Scheduler adapter executing job bodies (ThreadAdapter by
+        default).
+    feedback_managers:
+        Managers whose ``run_iteration`` the WM drives each round.
+    """
+
+    def __init__(
+        self,
+        macro: ContinuumSim,
+        encoder: PatchEncoder,
+        forcefield: CGForceField,
+        store: DataStore,
+        adapter: Optional[SchedulerAdapter] = None,
+        config: Optional[WorkflowConfig] = None,
+        patch_creator: Optional[PatchCreator] = None,
+        feedback_managers: Sequence[FeedbackManager] = (),
+        patch_queues: Optional[Sequence[str]] = None,
+        queue_router: Optional[Callable[[Patch], str]] = None,
+    ) -> None:
+        self.config = config or WorkflowConfig()
+        self.macro = macro
+        self.encoder = encoder
+        self.forcefield = forcefield
+        self.store = store
+        self.adapter = adapter if adapter is not None else ThreadAdapter(max_workers=2)
+        self.patch_creator = patch_creator or PatchCreator(patch_grid=9, store=store)
+        self.feedback_managers = list(feedback_managers)
+        self.rng = np.random.default_rng(self.config.seed)
+
+        # Task 2 state: the two selectors, shared across tasks -> locked.
+        # Queue layout + routing are application choices (§4.4 Task 2:
+        # the production Patch Selector keeps five queues for different
+        # protein configurations); the default is the two-state layout.
+        if queue_router is None:
+            queue_router = lambda patch: (  # noqa: E731 - tiny default
+                "ras-raf" if patch.protein_state == 1 else "ras"
+            )
+            patch_queues = patch_queues or ("ras", "ras-raf")
+        elif patch_queues is None:
+            raise ValueError("queue_router requires an explicit patch_queues list")
+        self.queue_router = queue_router
+        self.patch_selector = FarthestPointSampler(
+            dim=encoder.latent_dim,
+            queues=list(patch_queues),
+            queue_cap=self.config.patch_queue_cap,
+        )
+        self.frame_selector = BinnedSampler(
+            [
+                BinSpec(0.0, 4.0, self.config.frame_bins),   # RAS-RAF separation
+                BinSpec(0.0, np.pi, self.config.frame_bins),  # orientation
+                BinSpec(0.0, 3.0, self.config.frame_bins),   # radius of gyration
+            ],
+            randomness=self.config.frame_randomness,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        # Shared across WM tasks and analysis threads; blocking lock
+        # with contention counters (§4.4 "Parallelism and Locking").
+        self._selector_guard = SharedState(None)
+
+        # Task 3 state: ready buffers and trackers per job type.
+        self.cg_ready: List[CGSystem] = []
+        self.aa_ready: List[AASystem] = []
+        self._buffer_lock = threading.Lock()
+        self._patch_by_id: Dict[str, Patch] = {}
+        self._frame_by_id: Dict[str, FrameCandidate] = {}
+        self._frame_systems: Dict[str, CGSystem] = {}
+
+        self.trackers = {
+            name: JobTracker(JobTypeConfig(name=name, ncores=cores, ngpus=gpus),
+                             self.adapter, rng=np.random.default_rng(self.config.seed + i))
+            for i, (name, cores, gpus) in enumerate(
+                [("createsim", 24, 0), ("cg-sim", 2, 1), ("backmap", 18, 0), ("aa-sim", 2, 1)]
+            )
+        }
+
+        # Counters mirrored into the checkpoint.
+        self.counters: Dict[str, int] = {
+            "snapshots": 0,
+            "patches": 0,
+            "patches_selected": 0,
+            "cg_spawned": 0,
+            "cg_finished": 0,
+            "frames_seen": 0,
+            "frames_selected": 0,
+            "aa_spawned": 0,
+            "aa_finished": 0,
+            "feedback_iterations": 0,
+        }
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Task 1: process coarse-scale data
+    # ------------------------------------------------------------------
+
+    def task1_process_macro(self, advance_us: float = 1.0) -> int:
+        """Advance the continuum, cut patches, encode, enqueue candidates."""
+        steps = max(1, int(round(advance_us / self.macro.config.dt)))
+        self.macro.step(steps)
+        snapshot = self.macro.snapshot()
+        patches = self.patch_creator.create(snapshot)
+        if patches:
+            encodings = self.encoder.encode(np.stack([p.flat() for p in patches]))
+            with self._selector_guard.locked():
+                for patch, z in zip(patches, encodings):
+                    queue = self.queue_router(patch)
+                    self.patch_selector.add(Point(id=patch.patch_id, coords=z), queue=queue)
+                    self._patch_by_id[patch.patch_id] = patch
+        self.counters["snapshots"] += 1
+        self.counters["patches"] += len(patches)
+        return len(patches)
+
+    # ------------------------------------------------------------------
+    # Task 3: schedule and manage jobs (which triggers Task 2 selections)
+    # ------------------------------------------------------------------
+
+    def _fill_cg_buffer(self) -> int:
+        """Launch createsim jobs until the ready buffer will hit target."""
+        launched = 0
+        tracker = self.trackers["createsim"]
+        while (
+            len(self.cg_ready) + tracker.nactive() < self.config.cg_ready_target
+            and self.patch_selector.ncandidates() > 0
+        ):
+            with self._selector_guard.locked():
+                selected = self.patch_selector.select(1, now=float(self.rounds))
+            if not selected:
+                break
+            patch = self._patch_by_id.pop(selected[0].id)
+            self.counters["patches_selected"] += 1
+
+            def setup_job(patch=patch):
+                system = createsim(
+                    patch.densities,
+                    box=patch.box_nm / 10.0,  # nm -> engine units
+                    with_raf=patch.protein_state == 1,
+                    patch_id=patch.patch_id,
+                    forcefield=self.forcefield,
+                    beads_per_type=self.config.beads_per_type,
+                    seed=int(self.rng.integers(2**31)),
+                )
+                with self._buffer_lock:
+                    self.cg_ready.append(system)
+                return system.nparticles
+
+            tracker.launch(tag=patch.patch_id, fn=setup_job)
+            launched += 1
+        return launched
+
+    def _spawn_cg_sims(self) -> int:
+        """Start CG simulation jobs from the ready buffer."""
+        spawned = 0
+        tracker = self.trackers["cg-sim"]
+        while tracker.nactive() < self.config.max_cg_sims:
+            with self._buffer_lock:
+                if not self.cg_ready:
+                    break
+                system = self.cg_ready.pop(0)
+            sim_id = f"cg{self.counters['cg_spawned']:05d}"
+            self.counters["cg_spawned"] += 1
+
+            def cg_job(system=system, sim_id=sim_id):
+                return self._run_cg_sim(system, sim_id)
+
+            tracker.launch(tag=sim_id, fn=cg_job)
+            spawned += 1
+        return spawned
+
+    def _run_cg_sim(self, system: CGSystem, sim_id: str) -> float:
+        """The CG simulation + co-scheduled analysis job body."""
+        cfg = CGConfig(box=system.box, n_lipids=1, seed=int(self.rng.integers(2**31)))
+        sim = CGSim(system.positions, system.type_ids, self.forcefield, cfg,
+                    bonds=system.bonds)
+        analysis = CGAnalysis(sim, sim_id=sim_id)
+        for chunk in range(self.config.cg_chunks_per_job):
+            sim.step(self.config.cg_steps_per_chunk)
+            out = analysis.analyze()
+            self.store.write(
+                f"rdf/live/{sim_id}-{chunk:03d}", out["rdf"].to_bytes()
+            )
+            candidate = out["candidate"]
+            with self._selector_guard.locked():
+                self.frame_selector.add(
+                    Point(id=candidate.frame_id, coords=candidate.encoding)
+                )
+                self._frame_by_id[candidate.frame_id] = candidate
+                self._frame_systems[candidate.frame_id] = CGSystem(
+                    positions=sim.positions.copy(),
+                    type_ids=sim.type_ids.copy(),
+                    bonds=sim.bonds.copy(),
+                    box=system.box,
+                    source_patch=system.source_patch,
+                )
+                self.counters["frames_seen"] += 1
+        self.counters["cg_finished"] += 1
+        return sim.time
+
+    def _fill_aa_buffer(self) -> int:
+        """Select frames and launch backmapping jobs."""
+        launched = 0
+        tracker = self.trackers["backmap"]
+        while (
+            len(self.aa_ready) + tracker.nactive() < self.config.aa_ready_target
+            and self.frame_selector.ncandidates() > 0
+        ):
+            with self._selector_guard.locked():
+                selected = self.frame_selector.select(1, now=float(self.rounds))
+                if not selected:
+                    break
+                frame_id = selected[0].id
+                self._frame_by_id.pop(frame_id, None)
+                system = self._frame_systems.pop(frame_id)
+            self.counters["frames_selected"] += 1
+
+            def backmap_job(system=system, frame_id=frame_id):
+                aa = backmap(system, self.forcefield, frame_id=frame_id,
+                             seed=int(self.rng.integers(2**31)))
+                with self._buffer_lock:
+                    self.aa_ready.append(aa)
+                return aa.natoms
+
+            tracker.launch(tag=frame_id, fn=backmap_job)
+            launched += 1
+        return launched
+
+    def _spawn_aa_sims(self) -> int:
+        spawned = 0
+        tracker = self.trackers["aa-sim"]
+        while tracker.nactive() < self.config.max_aa_sims:
+            with self._buffer_lock:
+                if not self.aa_ready:
+                    break
+                system = self.aa_ready.pop(0)
+            sim_id = f"aa{self.counters['aa_spawned']:05d}"
+            self.counters["aa_spawned"] += 1
+
+            def aa_job(system=system, sim_id=sim_id):
+                return self._run_aa_sim(system, sim_id)
+
+            tracker.launch(tag=sim_id, fn=aa_job)
+            spawned += 1
+        return spawned
+
+    def _run_aa_sim(self, system: AASystem, sim_id: str) -> float:
+        sim = AASim(system.positions, system.bonds, system.backbone,
+                    config=AAConfig(box=system.box, seed=int(self.rng.integers(2**31))))
+        analysis = SecondaryStructureAnalysis(system.backbone, box=system.box)
+        for chunk in range(self.config.aa_chunks_per_job):
+            sim.step(self.config.aa_steps_per_chunk)
+            pattern = analysis.analyze_frame(sim.positions)
+            self.store.write(
+                f"ss/live/{sim_id}-{chunk:03d}",
+                pattern.encode("utf-8"),
+            )
+        self.counters["aa_finished"] += 1
+        return sim.time
+
+    def task3_manage_jobs(self) -> Dict[str, int]:
+        """One scan-and-replace pass over all four job types."""
+        return {
+            "createsim": self._fill_cg_buffer(),
+            "cg": self._spawn_cg_sims(),
+            "backmap": self._fill_aa_buffer(),
+            "aa": self._spawn_aa_sims(),
+        }
+
+    # ------------------------------------------------------------------
+    # Task 4: feedback
+    # ------------------------------------------------------------------
+
+    def task4_feedback(self) -> int:
+        """Run one iteration of every registered feedback manager."""
+        n = 0
+        for manager in self.feedback_managers:
+            manager.run_iteration(now=float(self.rounds))
+            n += 1
+        self.counters["feedback_iterations"] += n
+        return n
+
+    def lock_stats(self) -> Dict[str, int]:
+        """Selector-lock contention counters (profiling, §4.4)."""
+        return self._selector_guard.stats.as_dict()
+
+    # ------------------------------------------------------------------
+    # The round driver
+    # ------------------------------------------------------------------
+
+    def round(self, advance_us: float = 1.0, wait: bool = True) -> Dict[str, int]:
+        """One coordination round across all four tasks.
+
+        With ``wait=True`` (default) the round blocks until every job
+        launched this round completed — deterministic laptop mode. With
+        ``wait=False`` jobs overlap rounds like the production WM.
+        """
+        self.task1_process_macro(advance_us)
+        self.task3_manage_jobs()
+        if wait and isinstance(self.adapter, ThreadAdapter):
+            self.adapter.wait_all()
+            # Setup jobs may have refilled buffers; start the sims now.
+            self.task3_manage_jobs()
+            self.adapter.wait_all()
+        self.task4_feedback()
+        self.rounds += 1
+        return dict(self.counters)
+
+    def run(self, nrounds: int, advance_us: float = 1.0) -> Dict[str, int]:
+        for _ in range(nrounds):
+            self.round(advance_us)
+        return dict(self.counters)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (§4.4 resilience)
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, key: str = "wm/checkpoint") -> None:
+        """Persist WM counters, selector state, and histories."""
+        from repro.sampling.persistence import save_sampler
+
+        with self._selector_guard.locked():
+            save_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
+            save_sampler(self.store, f"{key}/frame-selector", self.frame_selector)
+        payload = {
+            "rounds": self.rounds,
+            "counters": self.counters,
+            "patch_history": self.patch_selector.history_rows(),
+            "frame_history": self.frame_selector.history_rows(),
+            "macro_time_us": self.macro.time_us,
+            "coupling_version": self.macro.coupling_version,
+            "ff_version": self.forcefield.version,
+            "ss_pattern": self.forcefield.ss_pattern,
+        }
+        self.store.write_json(key, payload)
+
+    def restore(self, key: str = "wm/checkpoint") -> Dict:
+        """Reload counters and selector state; returns the payload."""
+        from repro.sampling.persistence import load_sampler
+
+        payload = self.store.read_json(key)
+        self.rounds = int(payload["rounds"])
+        self.counters.update({k: int(v) for k, v in payload["counters"].items()})
+        with self._selector_guard.locked():
+            if self.store.exists(f"{key}/patch-selector"):
+                load_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
+            if self.store.exists(f"{key}/frame-selector"):
+                load_sampler(self.store, f"{key}/frame-selector", self.frame_selector)
+        return payload

@@ -1,0 +1,166 @@
+"""Filesystem backend with I/O armoring, backups, and fault injection.
+
+Mirrors MuMMI's direct-to-GPFS path: best for small files (checkpoints,
+logs, setup inputs) and anything that must interoperate with external
+tools. Reads and writes are wrapped in retries; checkpoint-style writes
+keep a ``.bak`` of the previous version (paper §4.2).
+
+Fault injection exists so tests and benchmarks can exercise the
+armoring: a :class:`FaultInjector` raises :class:`OSError` on a
+configurable fraction of operations, standing in for a flaky parallel
+filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.datastore.base import DataStore, KeyNotFound, StoreError, validate_key
+from repro.util.armor import RetryPolicy, armored_call
+
+__all__ = ["FSStore", "FaultInjector"]
+
+
+class FaultInjector:
+    """Raises OSError on a seeded fraction of store operations.
+
+    ``ops`` limits which operations fail (e.g. only writes). The
+    injector is deterministic for a given seed and call sequence.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        rng: Optional[np.random.Generator] = None,
+        ops: tuple = ("read", "write", "delete", "move"),
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.ops = frozenset(ops)
+        self.injected = 0
+
+    def __call__(self, op: str, key: str) -> None:
+        if op in self.ops and self.rng.random() < self.rate:
+            self.injected += 1
+            raise OSError(f"injected {op} fault for {key!r}")
+
+
+class FSStore(DataStore):
+    """DataStore over a directory tree; one key = one file.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).
+    policy:
+        Retry policy for armored operations.
+    fault_injector:
+        Optional callable ``(op, key)`` that may raise OSError before the
+        real operation runs; used to test/benchmark the armoring.
+    backup_writes:
+        Keep a ``.bak`` copy of the previous value on overwrite
+        (checkpoint armoring). Off by default: bulk data doesn't need it.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[Callable[[str, str], None]] = None,
+        backup_writes: bool = False,
+    ) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.policy = policy or RetryPolicy(retries=3)
+        self.fault_injector = fault_injector
+        self.backup_writes = backup_writes
+        self.retries = 0  # armoring retry counter, for profiling
+
+    # --- internals --------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, validate_key(key))
+
+    def _armored(self, op: str, key: str, fn: Callable, *args):
+        def attempt():
+            if self.fault_injector is not None:
+                self.fault_injector(op, key)
+            return fn(*args)
+
+        def count_retry(attempt_no: int, exc: BaseException) -> None:
+            self.retries += 1
+
+        return armored_call(attempt, policy=self.policy, on_retry=count_retry)
+
+    # --- primitives ---------------------------------------------------------
+
+    def write(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+
+        def do_write():
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            if self.backup_writes and os.path.exists(path):
+                shutil.copy2(path, path + ".bak")
+            tmp = path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+
+        self._armored("write", key, do_write)
+
+    def read(self, key: str) -> bytes:
+        path = self._path(key)
+        if not os.path.isfile(path):
+            if self.backup_writes and os.path.isfile(path + ".bak"):
+                path = path + ".bak"  # filesystem ate the primary; use backup
+            else:
+                raise KeyNotFound(key)
+
+        def do_read():
+            with open(path, "rb") as fh:
+                return fh.read()
+
+        return self._armored("read", key, do_read)
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if not os.path.isfile(path):
+            raise KeyNotFound(key)
+        self._armored("delete", key, os.remove, path)
+        bak = path + ".bak"
+        if os.path.isfile(bak):
+            os.remove(bak)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        found = []
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            rel = os.path.relpath(dirpath, self.root)
+            for name in filenames:
+                if name.endswith((".bak", ".tmp")):
+                    continue
+                key = name if rel == "." else f"{rel}/{name}".replace(os.sep, "/")
+                if key.startswith(prefix):
+                    found.append(key)
+        return sorted(found)
+
+    def move(self, src: str, dst: str) -> None:
+        src_path = self._path(src)
+        dst_path = self._path(dst)
+        if not os.path.isfile(src_path):
+            raise KeyNotFound(src)
+
+        def do_move():
+            os.makedirs(os.path.dirname(dst_path), exist_ok=True)
+            os.replace(src_path, dst_path)
+
+        self._armored("move", src, do_move)
+
+    def nfiles(self) -> int:
+        """Number of inodes (files) this store currently occupies."""
+        return sum(len(files) for _, _, files in os.walk(self.root))

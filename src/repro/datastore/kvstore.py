@@ -1,0 +1,249 @@
+"""In-memory key-value cluster modeled on MuMMI's Redis interface.
+
+The paper (§4.2, §5.2) runs a 20-node Redis cluster as a "short-term
+and highly responsive in-memory cache" for the CG→continuum feedback
+loop, with clients on all compute nodes mapped randomly to servers.
+This module reproduces that architecture in-process:
+
+- :class:`KVServer` — one shard: a dict plus the operation set the
+  feedback loop needs (set/get/delete/rename/scan/append-to-list).
+- :class:`KVCluster` — routes keys to shards by a stable hash (the
+  Redis hash-slot idea), aggregates scans, and tracks per-op counters.
+- :class:`LatencyModel` — optional per-operation virtual-time costs so
+  the campaign simulator can account for feedback I/O without real
+  sleeping; real-time benchmarks run with no model and measure actual
+  throughput.
+- :class:`KVStore` — the :class:`~repro.datastore.base.DataStore`
+  adapter, so feedback can switch between filesystem and KV backends
+  with one configuration line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datastore.base import DataStore, KeyNotFound, StoreError, validate_key
+
+__all__ = ["KVServer", "KVCluster", "KVStore", "LatencyModel", "OpCounters"]
+
+_HASH_SLOTS = 16384  # as in Redis Cluster
+
+
+def _crc16(data: bytes) -> int:
+    """CRC16-CCITT (XModem), the hash Redis Cluster uses for slotting."""
+    crc = 0
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def key_slot(key: str) -> int:
+    """Hash slot for a key (honors Redis-style ``{hash tags}``)."""
+    raw = key
+    lb = key.find("{")
+    if lb != -1:
+        rb = key.find("}", lb + 1)
+        if rb != -1 and rb > lb + 1:
+            raw = key[lb + 1 : rb]
+    return _crc16(raw.encode("utf-8")) % _HASH_SLOTS
+
+
+@dataclass
+class OpCounters:
+    """Per-operation call counters, used by Fig. 7-style benchmarks."""
+
+    get: int = 0
+    set: int = 0
+    delete: int = 0
+    scan: int = 0
+    rename: int = 0
+
+    def total(self) -> int:
+        return self.get + self.set + self.delete + self.scan + self.rename
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Virtual-time cost of one operation against one server.
+
+    ``cost(op, nbytes)`` returns seconds of simulated time; the campaign
+    simulator advances its clock by this amount. Defaults approximate
+    the throughputs in Fig. 7: ~10k key scans+deletes/s, ~2k value
+    reads/s at the 4000-node scale.
+    """
+
+    per_op: float = 1e-4  # base round-trip
+    per_byte: float = 2e-9  # payload transfer
+    scan_per_key: float = 1e-5  # incremental cost of each key returned
+
+    def cost(self, op: str, nbytes: int = 0, nkeys: int = 0) -> float:
+        c = self.per_op + nbytes * self.per_byte
+        if op == "scan":
+            c += nkeys * self.scan_per_key
+        return c
+
+
+class KVServer:
+    """A single in-memory shard."""
+
+    def __init__(self, server_id: int = 0) -> None:
+        self.server_id = server_id
+        self._data: Dict[str, bytes] = {}
+        self.counters = OpCounters()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def set(self, key: str, value: bytes) -> None:
+        self.counters.set += 1
+        self._data[key] = value
+
+    def get(self, key: str) -> bytes:
+        self.counters.get += 1
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        self.counters.delete += 1
+        if self._data.pop(key, None) is None:
+            raise KeyNotFound(key)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.counters.rename += 1
+        try:
+            self._data[dst] = self._data.pop(src)
+        except KeyError:
+            raise KeyNotFound(src) from None
+
+    def scan(self, prefix: str = "") -> List[str]:
+        self.counters.scan += 1
+        return [k for k in self._data if k.startswith(prefix)]
+
+    def flush(self) -> None:
+        self._data.clear()
+
+    def memory_bytes(self) -> int:
+        return sum(len(v) for v in self._data.values())
+
+
+class KVCluster:
+    """A fixed set of shards with slot-based routing.
+
+    Parameters
+    ----------
+    nservers:
+        Number of shards ("Redis nodes"). The paper's scaling run used 20.
+    latency:
+        Optional :class:`LatencyModel`; when given, every operation adds
+        its cost to :attr:`virtual_time_spent` (the campaign simulator
+        reads and resets this).
+    """
+
+    def __init__(self, nservers: int = 1, latency: Optional[LatencyModel] = None) -> None:
+        if nservers < 1:
+            raise StoreError("cluster needs at least one server")
+        self.servers = [KVServer(i) for i in range(nservers)]
+        self.latency = latency
+        self.virtual_time_spent = 0.0
+
+    def _charge(self, op: str, nbytes: int = 0, nkeys: int = 0) -> None:
+        if self.latency is not None:
+            self.virtual_time_spent += self.latency.cost(op, nbytes, nkeys)
+
+    def server_for(self, key: str) -> KVServer:
+        return self.servers[key_slot(key) % len(self.servers)]
+
+    # --- cluster-wide operations ------------------------------------------
+
+    def set(self, key: str, value: bytes) -> None:
+        self._charge("set", len(value))
+        self.server_for(key).set(key, value)
+
+    def get(self, key: str) -> bytes:
+        value = self.server_for(key).get(key)
+        self._charge("get", len(value))
+        return value
+
+    def delete(self, key: str) -> None:
+        self._charge("delete")
+        self.server_for(key).delete(key)
+
+    def rename(self, src: str, dst: str) -> None:
+        src_server = self.server_for(src)
+        dst_server = self.server_for(dst)
+        if src_server is dst_server:
+            self._charge("rename")
+            src_server.rename(src, dst)
+        else:
+            # Cross-slot rename = get + set + delete, like a real cluster.
+            value = src_server.get(src)
+            self._charge("rename", len(value))
+            dst_server.set(dst, value)
+            src_server.delete(src)
+
+    def scan(self, prefix: str = "") -> List[str]:
+        keys: List[str] = []
+        for server in self.servers:
+            keys.extend(server.scan(prefix))
+        self._charge("scan", nkeys=len(keys))
+        return sorted(keys)
+
+    # --- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.servers)
+
+    def counters(self) -> OpCounters:
+        agg = OpCounters()
+        for s in self.servers:
+            agg.get += s.counters.get
+            agg.set += s.counters.set
+            agg.delete += s.counters.delete
+            agg.scan += s.counters.scan
+            agg.rename += s.counters.rename
+        return agg
+
+    def balance(self) -> Tuple[int, int]:
+        """(min, max) keys per shard — how even the slot routing is."""
+        sizes = [len(s) for s in self.servers]
+        return min(sizes), max(sizes)
+
+    def memory_bytes(self) -> int:
+        return sum(s.memory_bytes() for s in self.servers)
+
+    def drain_virtual_time(self) -> float:
+        """Return and reset accumulated simulated I/O time."""
+        t, self.virtual_time_spent = self.virtual_time_spent, 0.0
+        return t
+
+
+class KVStore(DataStore):
+    """DataStore adapter over a :class:`KVCluster`."""
+
+    def __init__(self, cluster: Optional[KVCluster] = None, nservers: int = 1) -> None:
+        self.cluster = cluster if cluster is not None else KVCluster(nservers=nservers)
+
+    def write(self, key: str, data: bytes) -> None:
+        self.cluster.set(validate_key(key), data)
+
+    def read(self, key: str) -> bytes:
+        return self.cluster.get(key)
+
+    def delete(self, key: str) -> None:
+        self.cluster.delete(key)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return self.cluster.scan(prefix)
+
+    def move(self, src: str, dst: str) -> None:
+        self.cluster.rename(src, validate_key(dst))

@@ -1,0 +1,278 @@
+"""A networked KV server/client: the Redis substitute over real sockets.
+
+The in-process :mod:`~repro.datastore.kvstore` models the cluster's
+semantics; this module provides the same operations over actual TCP so
+deployments where components live in different processes (the paper's
+WM + thousands of simulation jobs) exercise a real wire protocol.
+
+Protocol (text header + raw payload, one request per round trip)::
+
+    request : <CMD> [args...] <payload_len>\\n<payload bytes>
+    response: OK <len>\\n<payload>   |   NF\\n   |   ERR <message>\\n
+
+Commands: PING, SET key, GET key, DEL key, KEYS prefix, RENAME src dst,
+LEN, FLUSH, SHUTDOWN. A :class:`NetKVCluster` client routes keys over
+several servers with the same hash-slot rule as the in-process cluster.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.datastore.base import DataStore, KeyNotFound, StoreError, validate_key
+from repro.datastore.kvstore import KVServer, key_slot
+
+__all__ = ["NetKVServer", "NetKVClient", "NetKVCluster", "NetKVStore"]
+
+_MAX_HEADER = 4096
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise StoreError("connection closed mid-payload")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_line(sock: socket.socket) -> bytes:
+    """Read up to and including a newline, byte by byte (headers are tiny)."""
+    buf = bytearray()
+    while len(buf) < _MAX_HEADER:
+        b = sock.recv(1)
+        if not b:
+            raise StoreError("connection closed mid-header")
+        if b == b"\n":
+            return bytes(buf)
+        buf.extend(b)
+    raise StoreError("header too long")
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One request-response exchange per connection round trip.
+
+    Connections are persistent: the handler loops until the client
+    disconnects or sends SHUTDOWN.
+    """
+
+    def handle(self) -> None:  # noqa: C901 - a protocol switch is a switch
+        server: "NetKVServer" = self.server.owner  # type: ignore[attr-defined]
+        sock = self.request
+        while True:
+            try:
+                header = _recv_line(sock)
+            except StoreError:
+                return  # client went away
+            if not header:
+                continue
+            parts = header.decode("utf-8").split()
+            cmd, args = parts[0].upper(), parts[1:]
+            try:
+                payload = b""
+                if cmd in ("SET",) and args:
+                    payload = _recv_exact(sock, int(args[-1]))
+                    args = args[:-1]
+                response = self._dispatch(server, cmd, args, payload)
+            except KeyNotFound:
+                sock.sendall(b"NF\n")
+                continue
+            except Exception as exc:  # protocol errors become ERR frames
+                msg = str(exc).replace("\n", " ")[:500]
+                sock.sendall(f"ERR {msg}\n".encode("utf-8"))
+                continue
+            if response is None:
+                return  # SHUTDOWN
+            sock.sendall(f"OK {len(response)}\n".encode("utf-8") + response)
+
+    @staticmethod
+    def _dispatch(server: "NetKVServer", cmd: str, args: List[str],
+                  payload: bytes) -> Optional[bytes]:
+        store = server.backend
+        with server.lock:
+            if cmd == "PING":
+                return b"PONG"
+            if cmd == "SET":
+                store.set(args[0], payload)
+                return b""
+            if cmd == "GET":
+                return store.get(args[0])
+            if cmd == "DEL":
+                store.delete(args[0])
+                return b""
+            if cmd == "KEYS":
+                prefix = args[0] if args else ""
+                return "\x00".join(sorted(store.scan(prefix))).encode("utf-8")
+            if cmd == "RENAME":
+                store.rename(args[0], args[1])
+                return b""
+            if cmd == "LEN":
+                return str(len(store)).encode("utf-8")
+            if cmd == "FLUSH":
+                store.flush()
+                return b""
+            if cmd == "SHUTDOWN":
+                threading.Thread(target=server.stop, daemon=True).start()
+                return None
+            raise StoreError(f"unknown command {cmd!r}")
+
+
+class NetKVServer:
+    """One networked shard wrapping an in-memory :class:`KVServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.backend = KVServer()
+        self.lock = threading.Lock()
+        self._tcp = socketserver.ThreadingTCPServer((host, port), _Handler,
+                                                    bind_and_activate=True)
+        self._tcp.daemon_threads = True
+        self._tcp.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._tcp.server_address  # type: ignore[return-value]
+
+    def start(self) -> "NetKVServer":
+        self._thread = threading.Thread(target=self._tcp.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._tcp.shutdown()
+        self._tcp.server_close()
+
+    def __enter__(self) -> "NetKVServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class NetKVClient:
+    """A persistent connection to one shard."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 10.0) -> None:
+        self.address = address
+        self._sock = socket.create_connection(address, timeout=timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _roundtrip(self, header: str, payload: bytes = b"") -> bytes:
+        self._sock.sendall(header.encode("utf-8") + b"\n" + payload)
+        status = _recv_line(self._sock).decode("utf-8")
+        if status.startswith("OK "):
+            return _recv_exact(self._sock, int(status[3:]))
+        if status == "NF":
+            raise KeyNotFound(header.split()[1] if " " in header else "?")
+        raise StoreError(status[4:] if status.startswith("ERR ") else status)
+
+    def ping(self) -> bool:
+        return self._roundtrip("PING") == b"PONG"
+
+    def set(self, key: str, value: bytes) -> None:
+        self._roundtrip(f"SET {key} {len(value)}", value)
+
+    def get(self, key: str) -> bytes:
+        return self._roundtrip(f"GET {key}")
+
+    def delete(self, key: str) -> None:
+        self._roundtrip(f"DEL {key}")
+
+    def keys(self, prefix: str = "") -> List[str]:
+        raw = self._roundtrip(f"KEYS {prefix}" if prefix else "KEYS")
+        return raw.decode("utf-8").split("\x00") if raw else []
+
+    def rename(self, src: str, dst: str) -> None:
+        self._roundtrip(f"RENAME {src} {dst}")
+
+    def __len__(self) -> int:
+        return int(self._roundtrip("LEN"))
+
+    def shutdown_server(self) -> None:
+        self._sock.sendall(b"SHUTDOWN\n")
+        self.close()
+
+
+class NetKVCluster:
+    """Slot-routed client over several networked shards."""
+
+    def __init__(self, addresses: List[Tuple[str, int]]) -> None:
+        if not addresses:
+            raise StoreError("cluster needs at least one server address")
+        self.clients = [NetKVClient(addr) for addr in addresses]
+
+    def client_for(self, key: str) -> NetKVClient:
+        return self.clients[key_slot(key) % len(self.clients)]
+
+    def set(self, key: str, value: bytes) -> None:
+        self.client_for(key).set(key, value)
+
+    def get(self, key: str) -> bytes:
+        return self.client_for(key).get(key)
+
+    def delete(self, key: str) -> None:
+        self.client_for(key).delete(key)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        out: List[str] = []
+        for client in self.clients:
+            out.extend(client.keys(prefix))
+        return sorted(out)
+
+    def rename(self, src: str, dst: str) -> None:
+        src_client = self.client_for(src)
+        dst_client = self.client_for(dst)
+        if src_client is dst_client:
+            src_client.rename(src, dst)
+        else:
+            value = src_client.get(src)
+            dst_client.set(dst, value)
+            src_client.delete(src)
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+
+class NetKVStore(DataStore):
+    """DataStore adapter over a :class:`NetKVCluster`.
+
+    Drop-in for the in-process ``kv://`` backend when components run in
+    separate processes; the feedback managers work against it unchanged.
+    """
+
+    def __init__(self, cluster: NetKVCluster) -> None:
+        self.cluster = cluster
+
+    @classmethod
+    def connect(cls, addresses: List[Tuple[str, int]]) -> "NetKVStore":
+        return cls(NetKVCluster(addresses))
+
+    def write(self, key: str, data: bytes) -> None:
+        self.cluster.set(validate_key(key), data)
+
+    def read(self, key: str) -> bytes:
+        return self.cluster.get(key)
+
+    def delete(self, key: str) -> None:
+        self.cluster.delete(key)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return self.cluster.keys(prefix)
+
+    def move(self, src: str, dst: str) -> None:
+        self.cluster.rename(src, validate_key(dst))
+
+    def close(self) -> None:
+        self.cluster.close()

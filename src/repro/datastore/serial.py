@@ -1,0 +1,40 @@
+"""Byte-stream serialization of standard payloads.
+
+The data interface moves opaque bytes; these helpers give every backend
+the same NumPy-archive and JSON encodings so that a payload written
+through one backend can be read back through another.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+__all__ = ["npz_to_bytes", "bytes_to_npz", "json_to_bytes", "bytes_to_json"]
+
+
+def npz_to_bytes(arrays: Mapping[str, np.ndarray]) -> bytes:
+    """Encode a dict of arrays as an (uncompressed) ``.npz`` byte stream."""
+    buf = io.BytesIO()
+    np.savez(buf, **dict(arrays))
+    return buf.getvalue()
+
+
+def bytes_to_npz(data: bytes) -> Dict[str, np.ndarray]:
+    """Decode a ``.npz`` byte stream back into a dict of arrays."""
+    buf = io.BytesIO(data)
+    with np.load(buf) as npz:
+        return {name: npz[name] for name in npz.files}
+
+
+def json_to_bytes(obj: Any) -> bytes:
+    """Encode a JSON-serializable object as UTF-8 bytes (stable key order)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def bytes_to_json(data: bytes) -> Any:
+    """Decode UTF-8 JSON bytes."""
+    return json.loads(data.decode("utf-8"))

@@ -1,0 +1,61 @@
+"""I/O accounting shared by every backend.
+
+The campaign "creat[es] and manag[es] several TBs of data each day"; the
+WM needs to know how much each store moved to report that. Backends
+call :meth:`IOStats.note` from their primitives; the WM and benches
+read the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Byte and operation counters for one store."""
+
+    bytes_written: int = 0
+    bytes_read: int = 0
+    writes: int = 0
+    reads: int = 0
+    deletes: int = 0
+    moves: int = 0
+    scans: int = 0
+
+    def note(self, op: str, nbytes: int = 0) -> None:
+        if op == "write":
+            self.writes += 1
+            self.bytes_written += nbytes
+        elif op == "read":
+            self.reads += 1
+            self.bytes_read += nbytes
+        elif op == "delete":
+            self.deletes += 1
+        elif op == "move":
+            self.moves += 1
+        elif op == "scan":
+            self.scans += 1
+        else:
+            raise ValueError(f"unknown op {op!r}")
+
+    def ops(self) -> int:
+        return self.writes + self.reads + self.deletes + self.moves + self.scans
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "bytes_written": self.bytes_written,
+            "bytes_read": self.bytes_read,
+            "writes": self.writes,
+            "reads": self.reads,
+            "deletes": self.deletes,
+            "moves": self.moves,
+            "scans": self.scans,
+        }
+
+    def reset(self) -> None:
+        self.bytes_written = self.bytes_read = 0
+        self.writes = self.reads = self.deletes = self.moves = self.scans = 0

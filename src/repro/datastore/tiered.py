@@ -1,0 +1,123 @@
+"""Tiered storage: fast local tier over a durable backing tier.
+
+§6 ("Responsible Use of Shared Resources"): "MuMMI employs a conscious
+mix of the shared filesystem and local on-node RAM disk, which
+alleviates its footprint by reducing frequency of high-bandwidth file
+I/O operations." And §4.1 (4): backmapping works on "the local on-node
+RAM disk and about 0.5 GB data is backed up to GPFS".
+
+:class:`TieredStore` composes any two backends that way:
+
+- **writes** land in the fast tier; keys matching ``persist_prefixes``
+  are also written through to the backing tier (the checkpoint/backup
+  class of data);
+- **reads** hit the fast tier first and fall back to the backing tier
+  (optionally promoting the value back into the fast tier);
+- **evict()** drops non-persistent keys from the fast tier (the RAM
+  disk is bounded), leaving persistent data recoverable from backing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datastore.base import DataStore, KeyNotFound
+
+__all__ = ["TieredStore"]
+
+
+class TieredStore(DataStore):
+    """A fast tier backed by a durable tier.
+
+    Parameters
+    ----------
+    fast:
+        The RAM-disk stand-in (typically ``kv://``).
+    backing:
+        The durable tier (typically ``fs://`` or ``taridx://``).
+    persist_prefixes:
+        Key prefixes written through to the backing tier. Everything
+        else lives only in the fast tier until evicted or deleted.
+    promote_on_read:
+        Copy backing-tier hits back into the fast tier.
+    """
+
+    def __init__(
+        self,
+        fast: DataStore,
+        backing: DataStore,
+        persist_prefixes: Sequence[str] = (),
+        promote_on_read: bool = True,
+    ) -> None:
+        self.fast = fast
+        self.backing = backing
+        self.persist_prefixes = tuple(persist_prefixes)
+        self.promote_on_read = promote_on_read
+
+    def _persistent(self, key: str) -> bool:
+        return any(key.startswith(p) for p in self.persist_prefixes)
+
+    # --- primitives -----------------------------------------------------
+
+    def write(self, key: str, data: bytes) -> None:
+        self.fast.write(key, data)
+        if self._persistent(key):
+            self.backing.write(key, data)
+
+    def read(self, key: str) -> bytes:
+        try:
+            return self.fast.read(key)
+        except KeyNotFound:
+            data = self.backing.read(key)  # raises KeyNotFound if truly gone
+            if self.promote_on_read:
+                self.fast.write(key, data)
+            return data
+
+    def delete(self, key: str) -> None:
+        found = False
+        try:
+            self.fast.delete(key)
+            found = True
+        except KeyNotFound:
+            pass
+        try:
+            self.backing.delete(key)
+            found = True
+        except KeyNotFound:
+            pass
+        if not found:
+            raise KeyNotFound(key)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        merged = set(self.fast.keys(prefix)) | set(self.backing.keys(prefix))
+        return sorted(merged)
+
+    def move(self, src: str, dst: str) -> None:
+        data = self.read(src)
+        self.write(dst, data)
+        self.delete(src)
+
+    def close(self) -> None:
+        self.fast.close()
+        self.backing.close()
+
+    # --- tier management ----------------------------------------------------
+
+    def evict(self, prefix: str = "") -> int:
+        """Drop fast-tier entries under ``prefix``; persistent keys stay
+        recoverable from the backing tier. Returns entries evicted."""
+        n = 0
+        for key in self.fast.keys(prefix):
+            self.fast.delete(key)
+            n += 1
+        return n
+
+    def fast_keys(self, prefix: str = "") -> List[str]:
+        return self.fast.keys(prefix)
+
+    def backing_keys(self, prefix: str = "") -> List[str]:
+        return self.backing.keys(prefix)
+
+    def durable(self, key: str) -> bool:
+        """Whether ``key`` would survive losing the fast tier."""
+        return self.backing.exists(key)

@@ -1,0 +1,51 @@
+"""Loss functions: value and gradient together.
+
+Each loss returns ``(scalar_loss, grad)`` where ``grad`` has the shape
+of the prediction, ready to feed :meth:`repro.ml.nn.MLP.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["mse_loss", "triplet_loss"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error over all elements."""
+    pred = np.atleast_2d(pred)
+    target = np.atleast_2d(target)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def triplet_loss(
+    anchor: np.ndarray,
+    positive: np.ndarray,
+    negative: np.ndarray,
+    margin: float = 1.0,
+) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Metric-learning triplet loss with squared-L2 distances.
+
+    ``max(0, ||a-p||^2 - ||a-n||^2 + margin)`` averaged over the batch.
+    Returns (loss, grad_anchor, grad_positive, grad_negative).
+    """
+    a, p, n = np.atleast_2d(anchor), np.atleast_2d(positive), np.atleast_2d(negative)
+    if not (a.shape == p.shape == n.shape):
+        raise ValueError("anchor/positive/negative shapes must match")
+    d_ap = np.sum((a - p) ** 2, axis=1)
+    d_an = np.sum((a - n) ** 2, axis=1)
+    hinge = d_ap - d_an + margin
+    active = (hinge > 0).astype(float)[:, None]
+    batch = a.shape[0]
+    loss = float(np.mean(np.maximum(hinge, 0.0)))
+    grad_a = active * 2.0 * (n - p) / batch
+    grad_p = active * 2.0 * (p - a) / batch
+    grad_n = active * 2.0 * (a - n) / batch
+    return loss, grad_a, grad_p, grad_n

@@ -1,0 +1,71 @@
+"""Optimizers over :class:`~repro.ml.nn.MLP` parameters."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.ml.nn import MLP
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, net: MLP, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.net = net
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(arr) for _, _, arr in net.parameters()]
+
+    def step(self) -> None:
+        """Apply one update from the gradients stored by backward()."""
+        grads = self.net.gradients()
+        for i, (layer, name, arr) in enumerate(self.net.parameters()):
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] - self.lr * grads[i]
+                arr += self._velocity[i]
+            else:
+                arr -= self.lr * grads[i]
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        net: MLP,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.net = net
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(arr) for _, _, arr in net.parameters()]
+        self._v = [np.zeros_like(arr) for _, _, arr in net.parameters()]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        grads = self.net.gradients()
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for i, (layer, name, arr) in enumerate(self.net.parameters()):
+            g = grads[i]
+            self._m[i] = self.beta1 * self._m[i] + (1 - self.beta1) * g
+            self._v[i] = self.beta2 * self._v[i] + (1 - self.beta2) * g * g
+            m_hat = self._m[i] / b1t
+            v_hat = self._v[i] / b2t
+            arr -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

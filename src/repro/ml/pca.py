@@ -1,0 +1,93 @@
+"""PCA patch encoder: the paper's "simpler dimensionality reduction".
+
+§4.4 Task 2: encoded representations "may be computed using a ML
+inference engine (as done by the Patch Selector), a simpler
+dimensionality reduction (e.g., principal component analysis), or any
+configurational representation". :class:`PCAEncoder` is that second
+option — duck-type compatible with :class:`~repro.ml.encoder.PatchEncoder`
+(``encode``/``latent_dim``/``state_dict``) so it drops into the
+Workflow Manager unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["PCAEncoder"]
+
+
+class PCAEncoder:
+    """Principal-component projection to the novelty space.
+
+    Fit once on an initial batch of flattened patches, then encode any
+    stream. Components come from the SVD of the centered data (computed
+    with ``full_matrices=False`` — the economy decomposition; see the
+    repository's performance notes on SVD cost).
+    """
+
+    def __init__(self, input_dim: int, latent_dim: int = 9) -> None:
+        if latent_dim < 1 or input_dim < latent_dim:
+            raise ValueError("need input_dim >= latent_dim >= 1")
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self._mean: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None  # (latent, input)
+        self.explained_variance_ratio: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self._components is not None
+
+    def fit(self, data: np.ndarray) -> "PCAEncoder":
+        """Fit components on (n, input_dim) patch vectors."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        if data.shape[1] != self.input_dim:
+            raise ValueError(f"expected input dim {self.input_dim}, got {data.shape[1]}")
+        if data.shape[0] < self.latent_dim:
+            raise ValueError(
+                f"need at least {self.latent_dim} samples to fit, got {data.shape[0]}"
+            )
+        self._mean = data.mean(axis=0)
+        centered = data - self._mean
+        # Economy SVD: we only need the top latent_dim right singular
+        # vectors, never the full (n, n) U.
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self._components = vt[: self.latent_dim]
+        var = s**2
+        total = var.sum()
+        self.explained_variance_ratio = (
+            var[: self.latent_dim] / total if total > 0 else np.zeros(self.latent_dim)
+        )
+        return self
+
+    def encode(self, patches: np.ndarray) -> np.ndarray:
+        """(n, input_dim) -> (n, latent_dim) projections."""
+        if not self.fitted:
+            raise RuntimeError("PCAEncoder.encode before fit()")
+        patches = np.atleast_2d(np.asarray(patches, dtype=np.float64))
+        if patches.shape[1] != self.input_dim:
+            raise ValueError(f"expected input dim {self.input_dim}, got {patches.shape[1]}")
+        return (patches - self._mean) @ self._components.T
+
+    __call__ = encode
+
+    # --- persistence (checkpoint parity with PatchEncoder) ----------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        if not self.fitted:
+            raise RuntimeError("cannot checkpoint an unfitted encoder")
+        return {
+            "mean": self._mean.copy(),
+            "components": self._components.copy(),
+            "evr": self.explained_variance_ratio.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        components = state["components"]
+        if components.shape != (self.latent_dim, self.input_dim):
+            raise ValueError("component shape mismatch")
+        self._mean = state["mean"].copy()
+        self._components = components.copy()
+        self.explained_variance_ratio = state["evr"].copy()

@@ -1,0 +1,41 @@
+"""DynIm-style dynamic-importance sampling (paper §4.1 (6), §4.4 Task 2).
+
+The workflow couples scales by *selecting* which coarse configurations
+to promote. Two samplers implement that selection over encoded point
+objects, both agnostic to where the encoding came from (a neural
+encoder, PCA, or a raw configurational coding):
+
+- :class:`~repro.sampling.fps.FarthestPointSampler` — novelty ranking
+  by distance-to-selected-set in the 9-D patch encoding, with capped
+  in-memory candidate queues and lazy (cached) rank updates, backed by
+  an exact or approximate nearest-neighbour index.
+- :class:`~repro.sampling.binned.BinnedSampler` — the new
+  histogram-based sampler for the 3-D CG-frame encoding, where L2
+  distance is not meaningful; supports an importance/randomness balance
+  and scales to millions of candidates (the paper's 165× claim).
+
+Both samplers record a replayable selection history (§4.4 resilience).
+"""
+
+from repro.sampling.points import Point, PointStore
+from repro.sampling.queues import CandidateQueue, QueueFullPolicy
+from repro.sampling.ann import NeighborIndex, ExactIndex, KDTreeIndex, ProjectionIndex
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.binned import BinnedSampler, BinSpec
+from repro.sampling.base import Sampler, SelectionEvent
+
+__all__ = [
+    "Point",
+    "PointStore",
+    "CandidateQueue",
+    "QueueFullPolicy",
+    "NeighborIndex",
+    "ExactIndex",
+    "KDTreeIndex",
+    "ProjectionIndex",
+    "FarthestPointSampler",
+    "BinnedSampler",
+    "BinSpec",
+    "Sampler",
+    "SelectionEvent",
+]

@@ -1,0 +1,168 @@
+"""Nearest-neighbour backends for the farthest-point sampler.
+
+The paper ranks patch candidates with "approximate nearest neighbor
+queries (with L2 distances) powered by the FAISS framework". FAISS is
+not available offline, so three interchangeable backends stand in:
+
+- :class:`ExactIndex` — brute-force vectorized L2 (ground truth).
+- :class:`KDTreeIndex` — :class:`scipy.spatial.cKDTree` (exact, fast
+  at low dimension like the 9-D patch encoding).
+- :class:`ProjectionIndex` — an IVF-style approximate index: coarse
+  quantization by random projection, candidate search restricted to
+  the ``nprobe`` nearest cells. Trades recall for speed exactly the way
+  FAISS's IVF indexes do.
+
+All backends answer "distance from each query to its nearest indexed
+point", which is the only query farthest-point sampling needs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+__all__ = ["NeighborIndex", "ExactIndex", "KDTreeIndex", "ProjectionIndex"]
+
+
+class NeighborIndex(abc.ABC):
+    """Index over a fixed set of points; queried for nearest distances."""
+
+    @abc.abstractmethod
+    def build(self, coords: np.ndarray) -> None:
+        """(Re)build the index over ``coords`` of shape (n, dim)."""
+
+    @abc.abstractmethod
+    def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
+        """L2 distance from each query row to its nearest indexed point.
+
+        Returns +inf for every query when the index is empty.
+        """
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of indexed points."""
+
+
+def _empty_result(queries: np.ndarray) -> np.ndarray:
+    return np.full(queries.shape[0], np.inf)
+
+
+class ExactIndex(NeighborIndex):
+    """Brute force: one broadcasted distance matrix per query batch."""
+
+    def __init__(self) -> None:
+        self._coords: Optional[np.ndarray] = None
+
+    def build(self, coords: np.ndarray) -> None:
+        self._coords = np.asarray(coords, dtype=np.float64)
+
+    @property
+    def size(self) -> int:
+        return 0 if self._coords is None else self._coords.shape[0]
+
+    def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        if self.size == 0:
+            return _empty_result(queries)
+        # ||q - c||^2 = ||q||^2 - 2 q.c + ||c||^2, vectorized (no copies of
+        # the full pairwise difference tensor).
+        q2 = np.einsum("ij,ij->i", queries, queries)[:, None]
+        c2 = np.einsum("ij,ij->i", self._coords, self._coords)[None, :]
+        d2 = q2 - 2.0 * queries @ self._coords.T + c2
+        np.maximum(d2, 0.0, out=d2)
+        return np.sqrt(d2.min(axis=1))
+
+
+class KDTreeIndex(NeighborIndex):
+    """scipy cKDTree backend — exact, sublinear queries at low dim."""
+
+    def __init__(self) -> None:
+        self._tree: Optional[cKDTree] = None
+        self._n = 0
+
+    def build(self, coords: np.ndarray) -> None:
+        coords = np.asarray(coords, dtype=np.float64)
+        self._n = coords.shape[0]
+        self._tree = cKDTree(coords) if self._n else None
+
+    @property
+    def size(self) -> int:
+        return self._n
+
+    def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        if self._tree is None:
+            return _empty_result(queries)
+        dists, _ = self._tree.query(queries, k=1)
+        return np.atleast_1d(dists)
+
+
+class ProjectionIndex(NeighborIndex):
+    """IVF-style approximate index.
+
+    Points are assigned to ``ncells`` coarse cells by nearest random
+    anchor; a query searches only its ``nprobe`` closest cells. With
+    ``nprobe == ncells`` the result is exact.
+    """
+
+    def __init__(self, ncells: int = 16, nprobe: int = 2, seed: int = 0) -> None:
+        if ncells < 1 or not 1 <= nprobe:
+            raise ValueError("ncells >= 1 and nprobe >= 1 required")
+        self.ncells = ncells
+        self.nprobe = min(nprobe, ncells)
+        self._rng = np.random.default_rng(seed)
+        self._coords: Optional[np.ndarray] = None
+        self._anchors: Optional[np.ndarray] = None
+        self._cell_members: list = []
+
+    def build(self, coords: np.ndarray) -> None:
+        coords = np.asarray(coords, dtype=np.float64)
+        self._coords = coords
+        n = coords.shape[0]
+        if n == 0:
+            self._anchors = None
+            self._cell_members = []
+            return
+        ncells = min(self.ncells, n)
+        anchor_rows = self._rng.choice(n, size=ncells, replace=False)
+        self._anchors = coords[anchor_rows]
+        assign = self._nearest_anchor(coords)
+        self._cell_members = [np.nonzero(assign == c)[0] for c in range(ncells)]
+
+    def _nearest_anchor(self, points: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.einsum("ij,ij->i", points, points)[:, None]
+            - 2.0 * points @ self._anchors.T
+            + np.einsum("ij,ij->i", self._anchors, self._anchors)[None, :]
+        )
+        return d2.argmin(axis=1)
+
+    def _anchor_order(self, points: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.einsum("ij,ij->i", points, points)[:, None]
+            - 2.0 * points @ self._anchors.T
+            + np.einsum("ij,ij->i", self._anchors, self._anchors)[None, :]
+        )
+        return d2.argsort(axis=1)
+
+    @property
+    def size(self) -> int:
+        return 0 if self._coords is None else self._coords.shape[0]
+
+    def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        if self.size == 0 or self._anchors is None:
+            return _empty_result(queries)
+        order = self._anchor_order(queries)[:, : self.nprobe]
+        out = np.full(queries.shape[0], np.inf)
+        for qi in range(queries.shape[0]):
+            rows = np.concatenate([self._cell_members[c] for c in order[qi]])
+            if rows.size == 0:
+                continue
+            diffs = self._coords[rows] - queries[qi]
+            out[qi] = np.sqrt(np.einsum("ij,ij->i", diffs, diffs).min())
+        return out

@@ -1,0 +1,77 @@
+"""Shared sampler interface and replayable selection history.
+
+§4.4: "key components (ML and job scheduling) also maintain elaborate
+history files that may be replayed exactly, if necessary." Every
+sampler records a :class:`SelectionEvent` per selection and can dump or
+reload its history through a :class:`~repro.datastore.base.DataStore`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sampling.points import Point
+
+__all__ = ["Sampler", "SelectionEvent"]
+
+
+@dataclass(frozen=True)
+class SelectionEvent:
+    """One selection: which candidates were chosen, when, and why."""
+
+    time: float
+    selected: tuple
+    candidates_at_time: int
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "selected": list(self.selected),
+            "candidates": self.candidates_at_time,
+            "detail": self.detail,
+        }
+
+
+class Sampler(abc.ABC):
+    """Add candidates cheaply; select the most important on demand.
+
+    Contract (§4.4 Task 2): ``add`` must be near-free because candidates
+    arrive continuously from thousands of simulations; all expensive
+    computation is deferred to ``select``, which happens orders of
+    magnitude less often.
+    """
+
+    def __init__(self) -> None:
+        self.history: List[SelectionEvent] = []
+
+    @abc.abstractmethod
+    def add(self, point: Point) -> None:
+        """Ingest one candidate (must be cheap)."""
+
+    @abc.abstractmethod
+    def select(self, k: int, now: float = 0.0) -> List[Point]:
+        """Choose and consume the top-``k`` candidates."""
+
+    @abc.abstractmethod
+    def ncandidates(self) -> int:
+        """Candidates currently eligible for selection."""
+
+    def add_many(self, points: Sequence[Point]) -> None:
+        for p in points:
+            self.add(p)
+
+    def _record(self, now: float, selected: Sequence[Point], detail: str = "") -> None:
+        self.history.append(
+            SelectionEvent(
+                time=now,
+                selected=tuple(p.id for p in selected),
+                candidates_at_time=self.ncandidates(),
+                detail=detail,
+            )
+        )
+
+    def history_rows(self) -> List[dict]:
+        return [ev.to_dict() for ev in self.history]

@@ -1,0 +1,175 @@
+"""The binned (histogram) sampler for CG-frame selection.
+
+§4.4 Task 2: the CG-frame encoding is 3-D but "represents three
+disparate quantities; therefore, the L2 distance is not meaningful. To
+support a functionally useful sampling, a binned sampler was developed
+... that allows treating the three dimensions of the encoding
+separately. The binned sampling approach also facilitates control over
+the balance between importance and randomness ... This new sampling
+approach is capable of providing significantly faster updates to
+ranking: 3-4 minutes for 9M candidates."
+
+The speed claim is structural: candidates are bucketed into a discrete
+histogram at ingest (O(1) per candidate), and a selection just finds
+the least-simulated occupied bin (O(#bins)) — no distance computation
+ever touches the millions of candidates. That is the 165× capacity
+improvement the S4 ablation bench measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+from repro.sampling.points import Point
+
+__all__ = ["BinSpec", "BinnedSampler"]
+
+
+@dataclass(frozen=True)
+class BinSpec:
+    """Per-dimension binning: ``nbins`` equal bins over [lo, hi].
+
+    Out-of-range values clamp into the edge bins — every candidate must
+    land somewhere; the encoding bounds are advisory.
+    """
+
+    lo: float
+    hi: float
+    nbins: int
+
+    def __post_init__(self) -> None:
+        if self.nbins < 1:
+            raise ValueError("nbins must be >= 1")
+        if not self.hi > self.lo:
+            raise ValueError("hi must exceed lo")
+
+    def bin_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized bin index for each value, clamped to [0, nbins-1]."""
+        scaled = (np.asarray(values, dtype=float) - self.lo) / (self.hi - self.lo)
+        idx = np.floor(scaled * self.nbins).astype(np.int64)
+        return np.clip(idx, 0, self.nbins - 1)
+
+
+class BinnedSampler(Sampler):
+    """Histogram-based selection balancing importance and randomness.
+
+    Parameters
+    ----------
+    specs:
+        One :class:`BinSpec` per encoding dimension (three for CG frames).
+    randomness:
+        Probability that a selection ignores the histogram and picks a
+        uniformly random candidate — the paper's "balance between
+        importance and randomness". 0 = always least-simulated bin.
+    rng:
+        Seeded generator (selection is stochastic by design).
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[BinSpec],
+        randomness: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if not specs:
+            raise ValueError("need at least one BinSpec")
+        if not 0.0 <= randomness <= 1.0:
+            raise ValueError("randomness must be in [0, 1]")
+        self.specs = tuple(specs)
+        self.randomness = randomness
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._shape = tuple(s.nbins for s in self.specs)
+        self._nbins = int(np.prod(self._shape))
+        # candidates bucketed by flat bin id; lists support O(1) swap-pop.
+        self._bins: Dict[int, List[Point]] = {}
+        self._total = 0
+        self._ids = set()
+        # how many selections each bin has produced ("simulated density")
+        self.selected_counts = np.zeros(self._nbins, dtype=np.int64)
+
+    # --- binning ---------------------------------------------------------
+
+    def flat_bin(self, coords: np.ndarray) -> int:
+        """Flat bin index of one encoding vector."""
+        coords = np.asarray(coords, dtype=float)
+        if coords.shape != (len(self.specs),):
+            raise ValueError(
+                f"expected {len(self.specs)}-D encoding, got shape {coords.shape}"
+            )
+        multi = tuple(
+            int(spec.bin_of(np.array([coords[d]]))[0]) for d, spec in enumerate(self.specs)
+        )
+        return int(np.ravel_multi_index(multi, self._shape))
+
+    # --- Sampler API -------------------------------------------------------
+
+    def add(self, point: Point) -> None:
+        """O(1) ingest: bucket the candidate, nothing else."""
+        if point.id in self._ids:
+            return  # duplicate frame id (analysis re-emitted it)
+        b = self.flat_bin(point.coords)
+        self._bins.setdefault(b, []).append(point)
+        self._ids.add(point.id)
+        self._total += 1
+
+    def ncandidates(self) -> int:
+        return self._total
+
+    def select(self, k: int, now: float = 0.0) -> List[Point]:
+        """Consume ``k`` candidates, preferring under-simulated bins."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        chosen: List[Point] = []
+        for _ in range(k):
+            if self._total == 0:
+                break
+            if self.randomness > 0 and self.rng.random() < self.randomness:
+                point = self._pop_random()
+            else:
+                point = self._pop_least_simulated()
+            chosen.append(point)
+        self._record(now, chosen, detail=f"randomness={self.randomness}")
+        return chosen
+
+    # --- selection internals -----------------------------------------------
+
+    def _pop_from_bin(self, bin_id: int) -> Point:
+        bucket = self._bins[bin_id]
+        i = int(self.rng.integers(len(bucket)))
+        bucket[i], bucket[-1] = bucket[-1], bucket[i]
+        point = bucket.pop()
+        if not bucket:
+            del self._bins[bin_id]
+        self._ids.discard(point.id)
+        self._total -= 1
+        self.selected_counts[bin_id] += 1
+        return point
+
+    def _pop_least_simulated(self) -> Point:
+        occupied = np.fromiter(self._bins.keys(), dtype=np.int64)
+        counts = self.selected_counts[occupied]
+        best = occupied[counts == counts.min()]
+        bin_id = int(self.rng.choice(best))  # random among tied bins
+        return self._pop_from_bin(bin_id)
+
+    def _pop_random(self) -> Point:
+        # Weight bins by occupancy so every candidate is equally likely.
+        occupied = list(self._bins.keys())
+        weights = np.array([len(self._bins[b]) for b in occupied], dtype=float)
+        bin_id = int(self.rng.choice(occupied, p=weights / weights.sum()))
+        return self._pop_from_bin(bin_id)
+
+    # --- introspection ---------------------------------------------------------
+
+    def occupancy(self) -> Dict[int, int]:
+        """Candidates per occupied flat bin."""
+        return {b: len(pts) for b, pts in self._bins.items()}
+
+    def coverage(self) -> float:
+        """Fraction of bins that have produced at least one selection."""
+        return float(np.count_nonzero(self.selected_counts)) / self._nbins

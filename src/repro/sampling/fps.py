@@ -1,0 +1,172 @@
+"""Farthest-point sampling over capped candidate queues (the Patch Selector core).
+
+Novelty ranking follows Bhatia et al. (2021): a candidate's importance
+is its L2 distance to the nearest *already-selected* point in encoding
+space; selecting the farthest point steers the ensemble toward
+configurations unlike anything simulated so far.
+
+Scaling devices from §4.4 Task 2, all reproduced here:
+
+- multiple named in-memory queues, each capped (default 35,000);
+- candidate ingest is O(1) — ranks are stale until a selection asks
+  for them (the "caching scheme to postpone expensive computations");
+- rank updates are one vectorized nearest-neighbour query per queue
+  against a pluggable exact/approximate index.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sampling.ann import KDTreeIndex, NeighborIndex
+from repro.sampling.base import Sampler
+from repro.sampling.points import Point
+from repro.sampling.queues import CandidateQueue, QueueFullPolicy
+
+__all__ = ["FarthestPointSampler"]
+
+DEFAULT_QUEUE = "default"
+
+
+class FarthestPointSampler(Sampler):
+    """Dynamic farthest-point selection with lazy rank updates.
+
+    Parameters
+    ----------
+    dim:
+        Encoding dimensionality (9 for the paper's patches).
+    queues:
+        Names of candidate queues (the paper uses five, one per protein
+        configuration class). Defaults to a single queue.
+    queue_cap:
+        Per-queue candidate cap (paper: 35,000).
+    index:
+        Nearest-neighbour backend over the selected set; defaults to an
+        exact KD-tree. Swap in :class:`~repro.sampling.ann.ProjectionIndex`
+        for FAISS-style approximate queries.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        queues: Optional[Sequence[str]] = None,
+        queue_cap: int = 35_000,
+        index: Optional[NeighborIndex] = None,
+        queue_policy: QueueFullPolicy = QueueFullPolicy.DROP_OLDEST,
+    ) -> None:
+        super().__init__()
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        names = list(queues) if queues else [DEFAULT_QUEUE]
+        self.queues: Dict[str, CandidateQueue] = {
+            name: CandidateQueue(name, cap=queue_cap, policy=queue_policy) for name in names
+        }
+        self.index = index if index is not None else KDTreeIndex()
+        self._selected_coords: List[np.ndarray] = []
+        self._selected_ids: List[str] = []
+        self._index_dirty = False
+        self.last_update_seconds = 0.0  # cost of the most recent rank update
+
+    # --- ingest (cheap) ------------------------------------------------------
+
+    def add(self, point: Point, queue: str = DEFAULT_QUEUE) -> None:
+        """O(1) ingest into one queue; no ranking happens here."""
+        if point.dim != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {point.dim}")
+        try:
+            self.queues[queue].add(point)
+        except KeyError:
+            raise KeyError(f"unknown queue {queue!r}; have {sorted(self.queues)}") from None
+
+    def ncandidates(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+    def nselected(self) -> int:
+        return len(self._selected_ids)
+
+    # --- selection (expensive, on demand) --------------------------------------
+
+    def _refresh_index(self) -> None:
+        if self._index_dirty or self.index.size != len(self._selected_ids):
+            coords = (
+                np.vstack(self._selected_coords)
+                if self._selected_coords
+                else np.empty((0, self.dim))
+            )
+            self.index.build(coords)
+            self._index_dirty = False
+
+    def rank(self, queue: str) -> List[tuple]:
+        """(point, novelty) for every candidate in a queue, best first.
+
+        Novelty is distance-to-nearest-selected; before anything has
+        been selected every candidate is infinitely novel and arrival
+        order breaks the tie.
+        """
+        q = self.queues[queue]
+        pts = q.points()
+        if not pts:
+            return []
+        self._refresh_index()
+        coords = np.vstack([p.coords for p in pts])
+        dists = self.index.nearest_distance(coords)
+        order = np.argsort(-dists, kind="stable")  # stable: FIFO tie-break
+        return [(pts[i], float(dists[i])) for i in order]
+
+    def select(self, k: int, now: float = 0.0, queue: Optional[str] = None) -> List[Point]:
+        """Consume the ``k`` most novel candidates.
+
+        With multiple queues and no explicit ``queue``, selections are
+        taken round-robin across non-empty queues so every protein
+        configuration class keeps getting simulated.
+
+        True farthest-point semantics: after each pick the selected set
+        (and hence every remaining candidate's novelty) is updated.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        t0 = time.perf_counter()
+        chosen: List[Point] = []
+        names = [queue] if queue is not None else list(self.queues)
+        cursor = 0
+        while len(chosen) < k:
+            # Next non-empty queue in round-robin order.
+            for _ in range(len(names)):
+                name = names[cursor % len(names)]
+                cursor += 1
+                if len(self.queues[name]):
+                    break
+            else:
+                break  # all queues empty
+            ranked = self.rank(name)
+            best, _novelty = ranked[0]
+            self.queues[name].pop(best.id)
+            self._mark_selected(best)
+            chosen.append(best)
+        self.last_update_seconds = time.perf_counter() - t0
+        self._record(now, chosen, detail=f"queue={queue or 'round-robin'}")
+        return chosen
+
+    def _mark_selected(self, point: Point) -> None:
+        self._selected_ids.append(point.id)
+        self._selected_coords.append(np.asarray(point.coords, dtype=np.float64))
+        self._index_dirty = True
+
+    def seed_selected(self, points: Sequence[Point]) -> None:
+        """Declare points as already simulated (checkpoint restore path)."""
+        for p in points:
+            if p.dim != self.dim:
+                raise ValueError(f"expected dim {self.dim}, got {p.dim}")
+            self._mark_selected(p)
+
+    # --- introspection --------------------------------------------------------
+
+    def queue_sizes(self) -> Dict[str, int]:
+        return {name: len(q) for name, q in self.queues.items()}
+
+    def dropped(self) -> int:
+        return sum(q.dropped for q in self.queues.values())

@@ -1,0 +1,127 @@
+"""Checkpoint/restore of sampler state through any DataStore.
+
+The WM's resilience story (§4.4) needs the selectors to survive a
+crash: the selected set (which defines every candidate's novelty), the
+queued candidates, the histogram counts, and the random-generator state
+all checkpoint here. Histories are replayable audit trails and are
+saved separately (:mod:`repro.core.replay`); this module captures the
+*operational* state needed to continue selecting.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.datastore.base import DataStore
+from repro.sampling.binned import BinnedSampler, BinSpec
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.points import Point
+
+__all__ = ["fps_state", "restore_fps", "binned_state", "restore_binned",
+           "save_sampler", "load_sampler"]
+
+
+def fps_state(sampler: FarthestPointSampler) -> Dict[str, Any]:
+    """Operational state of a farthest-point sampler."""
+    queues = {}
+    for name, q in sampler.queues.items():
+        pts = q.points()
+        queues[name] = {
+            "ids": [p.id for p in pts],
+            "coords": np.vstack([p.coords for p in pts]).tolist() if pts else [],
+            "dropped": q.dropped,
+        }
+    return {
+        "kind": "fps",
+        "dim": sampler.dim,
+        "selected_ids": list(sampler._selected_ids),
+        "selected_coords": [c.tolist() for c in sampler._selected_coords],
+        "queues": queues,
+    }
+
+
+def restore_fps(sampler: FarthestPointSampler, state: Dict[str, Any]) -> None:
+    """Load state into a sampler built with the same configuration."""
+    if state.get("kind") != "fps":
+        raise ValueError("not an fps checkpoint")
+    if state["dim"] != sampler.dim:
+        raise ValueError(f"dim mismatch: checkpoint {state['dim']}, sampler {sampler.dim}")
+    if set(state["queues"]) != set(sampler.queues):
+        raise ValueError("queue names differ from checkpoint")
+    sampler._selected_ids = list(state["selected_ids"])
+    sampler._selected_coords = [
+        np.asarray(c, dtype=np.float64) for c in state["selected_coords"]
+    ]
+    sampler._index_dirty = True
+    for name, qstate in state["queues"].items():
+        queue = sampler.queues[name]
+        queue._points.clear()
+        coords = qstate["coords"]
+        for pid, c in zip(qstate["ids"], coords):
+            queue._points[pid] = Point(id=pid, coords=np.asarray(c, dtype=np.float64))
+        queue.dropped = int(qstate["dropped"])
+
+
+def binned_state(sampler: BinnedSampler) -> Dict[str, Any]:
+    """Operational state of a binned sampler (including RNG state)."""
+    bins = {}
+    for bin_id, pts in sampler._bins.items():
+        bins[str(bin_id)] = {
+            "ids": [p.id for p in pts],
+            "coords": [p.coords.tolist() for p in pts],
+        }
+    return {
+        "kind": "binned",
+        "specs": [(s.lo, s.hi, s.nbins) for s in sampler.specs],
+        "randomness": sampler.randomness,
+        "rng_state": sampler.rng.bit_generator.state,
+        "selected_counts": sampler.selected_counts.tolist(),
+        "bins": bins,
+    }
+
+
+def restore_binned(sampler: BinnedSampler, state: Dict[str, Any]) -> None:
+    if state.get("kind") != "binned":
+        raise ValueError("not a binned checkpoint")
+    specs = [BinSpec(*row) for row in state["specs"]]
+    if tuple(specs) != sampler.specs:
+        raise ValueError("bin specs differ from checkpoint")
+    sampler.randomness = float(state["randomness"])
+    sampler.rng.bit_generator.state = state["rng_state"]
+    sampler.selected_counts = np.asarray(state["selected_counts"], dtype=np.int64)
+    sampler._bins = {}
+    sampler._ids = set()
+    sampler._total = 0
+    for bin_id, content in state["bins"].items():
+        pts = [
+            Point(id=pid, coords=np.asarray(c, dtype=np.float64))
+            for pid, c in zip(content["ids"], content["coords"])
+        ]
+        sampler._bins[int(bin_id)] = pts
+        sampler._ids.update(p.id for p in pts)
+        sampler._total += len(pts)
+
+
+def save_sampler(store: DataStore, key: str, sampler) -> None:
+    """Persist either sampler kind under one store key."""
+    if isinstance(sampler, FarthestPointSampler):
+        state = fps_state(sampler)
+    elif isinstance(sampler, BinnedSampler):
+        state = binned_state(sampler)
+    else:
+        raise TypeError(f"unsupported sampler {type(sampler).__name__}")
+    store.write(key, json.dumps(state).encode("utf-8"))
+
+
+def load_sampler(store: DataStore, key: str, sampler) -> None:
+    """Restore a sampler previously saved with :func:`save_sampler`."""
+    state = json.loads(store.read(key).decode("utf-8"))
+    if isinstance(sampler, FarthestPointSampler):
+        restore_fps(sampler, state)
+    elif isinstance(sampler, BinnedSampler):
+        restore_binned(sampler, state)
+    else:
+        raise TypeError(f"unsupported sampler {type(sampler).__name__}")

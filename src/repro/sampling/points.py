@@ -1,0 +1,100 @@
+"""High-dimensional point objects, the currency of the samplers.
+
+DynIm operates on "high-dimensional point objects and, hence, [the
+selectors] are agnostic to the specific encoding of patches and frames"
+(§4.4 Task 2). A :class:`Point` is an id plus an encoding vector; a
+:class:`PointStore` is an append-efficient columnar buffer of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Point", "PointStore"]
+
+
+@dataclass(frozen=True)
+class Point:
+    """One candidate: a stable id and its encoding.
+
+    The encoding is read-only; ids are unique within a sampler.
+    """
+
+    id: str
+    coords: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.coords, dtype=np.float64)
+        arr.setflags(write=False)
+        object.__setattr__(self, "coords", arr)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError(f"coords must be a non-empty 1-D vector, got shape {arr.shape}")
+
+    @property
+    def dim(self) -> int:
+        return int(self.coords.size)
+
+
+class PointStore:
+    """Columnar buffer of points with O(1) amortized append.
+
+    Coordinates live in one contiguous array (grown geometrically) so
+    rank updates are vectorized over all candidates at once — the
+    "expensive computation postponed until selection" of Task 2 is a
+    single NumPy pass, not a Python loop.
+    """
+
+    def __init__(self, dim: int, capacity: int = 1024) -> None:
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        self.dim = dim
+        self._coords = np.empty((max(capacity, 1), dim), dtype=np.float64)
+        self._ids: List[str] = []
+        self._index_of: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, point_id: str) -> bool:
+        return point_id in self._index_of
+
+    def add(self, point: Point) -> int:
+        """Append a point; returns its row index. Duplicate ids rejected."""
+        if point.dim != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {point.dim}")
+        if point.id in self._index_of:
+            raise KeyError(f"duplicate point id {point.id!r}")
+        row = len(self._ids)
+        if row >= self._coords.shape[0]:
+            grown = np.empty((self._coords.shape[0] * 2, self.dim), dtype=np.float64)
+            grown[:row] = self._coords[:row]
+            self._coords = grown
+        self._coords[row] = point.coords
+        self._ids.append(point.id)
+        self._index_of[point.id] = row
+        return row
+
+    def add_many(self, points: Iterable[Point]) -> List[int]:
+        return [self.add(p) for p in points]
+
+    def coords_view(self) -> np.ndarray:
+        """Read-only view of all coordinates, shape (n, dim)."""
+        view = self._coords[: len(self._ids)]
+        view.setflags(write=False)
+        return view
+
+    def ids(self) -> List[str]:
+        return list(self._ids)
+
+    def id_at(self, row: int) -> str:
+        return self._ids[row]
+
+    def row_of(self, point_id: str) -> int:
+        return self._index_of[point_id]
+
+    def get(self, point_id: str) -> Point:
+        row = self._index_of[point_id]
+        return Point(id=point_id, coords=self._coords[row].copy())

@@ -1,0 +1,81 @@
+"""Capped in-memory candidate queues.
+
+§4.4 Task 2: "we incorporate five in-memory queues in the Patch
+Selector for sampling different protein configurations. For
+computational viability, each queue is capped at 35,000 patches." A
+:class:`CandidateQueue` is one such queue; when full it evicts by the
+configured policy so ingest stays O(1) and memory stays bounded.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.sampling.points import Point
+
+__all__ = ["QueueFullPolicy", "CandidateQueue"]
+
+
+class QueueFullPolicy(enum.Enum):
+    DROP_OLDEST = "drop-oldest"
+    """Evict the longest-waiting candidate (stale configurations age out)."""
+
+    DROP_NEW = "drop-new"
+    """Refuse the incoming candidate (queue is a snapshot of early data)."""
+
+
+class CandidateQueue:
+    """Bounded FIFO of points with O(1) add/remove by id."""
+
+    def __init__(
+        self,
+        name: str,
+        cap: int = 35_000,
+        policy: QueueFullPolicy = QueueFullPolicy.DROP_OLDEST,
+    ) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        self.name = name
+        self.cap = cap
+        self.policy = policy
+        self._points: "OrderedDict[str, Point]" = OrderedDict()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __contains__(self, point_id: str) -> bool:
+        return point_id in self._points
+
+    @property
+    def full(self) -> bool:
+        return len(self._points) >= self.cap
+
+    def add(self, point: Point) -> bool:
+        """Ingest a candidate; returns False if it was dropped."""
+        if point.id in self._points:
+            return False  # duplicate frame id: already queued
+        if self.full:
+            if self.policy is QueueFullPolicy.DROP_NEW:
+                self.dropped += 1
+                return False
+            self._points.popitem(last=False)
+            self.dropped += 1
+        self._points[point.id] = point
+        return True
+
+    def pop(self, point_id: str) -> Point:
+        """Remove and return a specific candidate (it was selected)."""
+        return self._points.pop(point_id)
+
+    def discard(self, point_id: str) -> None:
+        self._points.pop(point_id, None)
+
+    def points(self) -> List[Point]:
+        """Snapshot of queued candidates in arrival order."""
+        return list(self._points.values())
+
+    def ids(self) -> List[str]:
+        return list(self._points.keys())

@@ -1,0 +1,131 @@
+"""Job specifications and lifecycle records.
+
+A :class:`JobSpec` describes what a job needs (the paper's four job
+types need either "1 GPU + a few cores" or "24 cores on one node" or,
+for the continuum simulation, "150 nodes × 24 cores"); a
+:class:`JobRecord` tracks one submitted instance through its lifecycle.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.sched.resources import Allocation
+
+__all__ = ["JobSpec", "JobState", "JobRecord"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job inside the scheduler."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Resource and runtime requirements of one job.
+
+    Parameters
+    ----------
+    name:
+        Job-type label (e.g. ``"cg-sim"``, ``"createsim"``); the workflow
+        maps each simulation to exactly one job, so instance identity
+        lives in :attr:`tag`.
+    ncores, ngpus:
+        Per-node requirements. For single-node jobs these are the whole
+        request; for multi-node jobs they are per node.
+    nnodes:
+        Number of nodes (1 for the unbundled simulation jobs; 150 for
+        the continuum run).
+    duration:
+        Expected runtime in seconds (the campaign simulator completes
+        the job after this much virtual time). ``None`` = runs until
+        cancelled.
+    exclusive:
+        Whole-node job: claims every core and GPU of each node.
+    tag:
+        Free-form identity payload (e.g. the simulation id) — the
+        explicit simulation-to-job mapping of §4.3.
+    """
+
+    name: str
+    ncores: int = 1
+    ngpus: int = 0
+    nnodes: int = 1
+    duration: Optional[float] = None
+    exclusive: bool = False
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.nnodes < 1:
+            raise ValueError("nnodes must be >= 1")
+        if self.ncores < 0 or self.ngpus < 0:
+            raise ValueError("resource counts must be >= 0")
+        if not self.exclusive and self.ncores == 0 and self.ngpus == 0:
+            raise ValueError("job must request some resource")
+        if self.duration is not None and self.duration < 0:
+            raise ValueError("duration must be >= 0")
+
+    @property
+    def total_cores(self) -> int:
+        return self.ncores * self.nnodes
+
+    @property
+    def total_gpus(self) -> int:
+        return self.ngpus * self.nnodes
+
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job instance and its scheduling history."""
+
+    spec: JobSpec
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    allocation: Optional[Allocation] = None
+    result: Any = None
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (submit -> start), if started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> Optional[float]:
+        """Execution time (start -> end), if finished."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def to_dict(self) -> Dict[str, Any]:
+        """History-file row (replayable scheduler history, §4.4)."""
+        return {
+            "job_id": self.job_id,
+            "name": self.spec.name,
+            "tag": self.spec.tag,
+            "state": self.state.value,
+            "submit": self.submit_time,
+            "start": self.start_time,
+            "end": self.end_time,
+            "ncores": self.spec.total_cores,
+            "ngpus": self.spec.total_gpus,
+        }

@@ -1,0 +1,148 @@
+"""The resource matcher (R) and its policies.
+
+§5.2: "R essentially traverses the resource graph in its entirety for
+each job, particularly in the beginning when there are many vacant
+resources, creating 'too many choices'. We solved this problem by
+introducing a first-match policy that assigns the first matching
+resource set to a job greedily." The two policies here implement
+exactly that trade-off, and :class:`MatchStats` counts the vertices each
+one touches so benchmarks can report the speed-up both as visit counts
+and as wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.sched.jobspec import JobSpec
+from repro.sched.resources import Allocation, Node, ResourceGraph
+
+__all__ = ["MatchPolicy", "MatchStats", "Matcher"]
+
+
+class MatchPolicy(enum.Enum):
+    """How R picks among feasible placements."""
+
+    LOW_ID_FIRST = "low-id-first"
+    """Exhaustive: enumerate every feasible node (ranking the whole
+    subtree of each), then take the lowest resource ids — the policy the
+    campaign ran with, whose full-graph traversal became the 4000-node
+    bottleneck."""
+
+    FIRST_MATCH = "first-match"
+    """Greedy: take the first feasible node(s), scanning from a rotating
+    start position; stops as soon as the request is satisfied — the fix
+    that yielded the paper's 670× matcher speed-up."""
+
+
+@dataclass
+class MatchStats:
+    """Traversal-cost accounting across match calls."""
+
+    calls: int = 0
+    matched: int = 0
+    failed: int = 0
+    vertices_visited: int = 0
+
+    def visits_per_call(self) -> float:
+        return self.vertices_visited / self.calls if self.calls else 0.0
+
+
+class Matcher:
+    """Maps a :class:`JobSpec` to an :class:`Allocation` on a graph.
+
+    The matcher does not claim resources itself; :meth:`match` returns a
+    placement proposal and the caller (the queue manager) claims it.
+    That split mirrors Flux's Q/R separation and lets the queue model
+    synchronous vs asynchronous communication between the two.
+    """
+
+    def __init__(self, graph: ResourceGraph, policy: MatchPolicy = MatchPolicy.LOW_ID_FIRST) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.stats = MatchStats()
+        self._rr_cursor = 0  # first-match rotating start
+
+    # --- public API ------------------------------------------------------
+
+    def match(self, spec: JobSpec) -> Optional[Allocation]:
+        """Propose a placement, or None if the job cannot run now."""
+        self.stats.calls += 1
+        if spec.exclusive:
+            placement = self._match_exclusive(spec)
+        elif spec.nnodes > 1:
+            placement = self._match_multi_node(spec)
+        else:
+            placement = self._match_single_node(spec)
+        if placement is None:
+            self.stats.failed += 1
+            return None
+        self.stats.matched += 1
+        return self.graph.claim(placement)
+
+    def release(self, alloc: Allocation) -> None:
+        self.graph.release(alloc)
+
+    # --- policy internals ----------------------------------------------------
+
+    def _pick_cost(self, node: Node, ncores: int, ngpus: int) -> None:
+        """Claiming enumerates only the chosen resources."""
+        self.stats.vertices_visited += ncores + ngpus
+
+    def _candidate_nodes(self, spec: JobSpec) -> List[Node]:
+        """Feasible nodes under the current policy's traversal rule.
+
+        Feasibility is computed vectorized for speed, but the visit
+        counter charges exactly what the equivalent graph walk would:
+        the exhaustive policy inspects every node vertex and ranks the
+        full subtree of every feasible one ("too many choices"); the
+        greedy policy inspects node vertices only up to its last hit.
+        """
+        graph = self.graph
+        subtree = graph.node_subtree_size
+        if self.policy is MatchPolicy.LOW_ID_FIRST:
+            ids = graph.feasible_ids(spec.ncores, spec.ngpus, spec.exclusive)
+            self.stats.vertices_visited += len(graph.nodes)  # every node checked
+            self.stats.vertices_visited += len(ids) * (subtree - 1)  # rank feasible subtrees
+            return [graph.nodes[i] for i in ids]
+        ids, scanned = graph.first_feasible(
+            self._rr_cursor, spec.nnodes, spec.ncores, spec.ngpus, spec.exclusive
+        )
+        self.stats.vertices_visited += scanned
+        if ids:
+            self._rr_cursor = (ids[-1] + 1) % len(graph.nodes)
+        return [graph.nodes[i] for i in ids]
+
+    def _match_single_node(self, spec: JobSpec) -> Optional[List[Tuple[int, List[int], List[int]]]]:
+        candidates = self._candidate_nodes(spec)
+        if not candidates:
+            return None
+        node = candidates[0]
+        cores, gpus = node.pick(spec.ncores, spec.ngpus)
+        self._pick_cost(node, len(cores), len(gpus))
+        return [(node.node_id, cores, gpus)]
+
+    def _match_multi_node(self, spec: JobSpec) -> Optional[List[Tuple[int, List[int], List[int]]]]:
+        candidates = self._candidate_nodes(spec)
+        if len(candidates) < spec.nnodes:
+            return None
+        placement = []
+        for node in candidates[: spec.nnodes]:
+            cores, gpus = node.pick(spec.ncores, spec.ngpus)
+            self._pick_cost(node, len(cores), len(gpus))
+            placement.append((node.node_id, cores, gpus))
+        return placement
+
+    def _match_exclusive(self, spec: JobSpec) -> Optional[List[Tuple[int, List[int], List[int]]]]:
+        candidates = self._candidate_nodes(spec)
+        if len(candidates) < spec.nnodes:
+            return None
+        placement = []
+        for node in candidates[: spec.nnodes]:
+            cores = node.free_core_ids()
+            gpus = node.free_gpu_ids()
+            self._pick_cost(node, len(cores), len(gpus))
+            placement.append((node.node_id, cores, gpus))
+        return placement

@@ -1,0 +1,41 @@
+"""Simulation substrates for the three resolution scales (paper §4.1).
+
+The paper's scales run on GridSim2D (C++/MPI DDFT), CUDA ddcMD
+(Martini CG), and GPU AMBER (all-atom). None of those are available
+here, so each scale is re-implemented as a small, seeded, vectorized
+NumPy engine that produces the *same kinds of outputs* the workflow
+consumes — density snapshots, CG trajectories with protein–lipid RDFs,
+AA trajectories with secondary-structure observables — at laptop scale.
+DESIGN.md records the substitution rationale per scale.
+
+- :mod:`~repro.sims.continuum` — DDFT lipid-density dynamics with
+  protein particles (the macro model).
+- :mod:`~repro.sims.cg` — Martini-like coarse-grained Langevin MD with
+  online RDF analysis (the micro model).
+- :mod:`~repro.sims.aa` — all-atom-like refinement with secondary-
+  structure analysis (the finest model).
+- :mod:`~repro.sims.mapping` — createsim (continuum→CG) and
+  backmapping (CG→AA).
+"""
+
+from repro.sims.continuum import ContinuumSim, ContinuumConfig, Snapshot
+from repro.sims.cg import CGSim, CGConfig, CGForceField, CGAnalysis
+from repro.sims.aa import AASim, AAConfig, SecondaryStructureAnalysis
+from repro.sims.mapping import createsim, backmap, CGSystem, AASystem
+
+__all__ = [
+    "ContinuumSim",
+    "ContinuumConfig",
+    "Snapshot",
+    "CGSim",
+    "CGConfig",
+    "CGForceField",
+    "CGAnalysis",
+    "AASim",
+    "AAConfig",
+    "SecondaryStructureAnalysis",
+    "createsim",
+    "backmap",
+    "CGSystem",
+    "AASystem",
+]

@@ -1,0 +1,6 @@
+"""The all-atom (finest) scale: refinement MD + secondary-structure analysis."""
+
+from repro.sims.aa.engine import AASim, AAConfig
+from repro.sims.aa.analysis import SecondaryStructureAnalysis, classify_backbone
+
+__all__ = ["AASim", "AAConfig", "SecondaryStructureAnalysis", "classify_backbone"]

@@ -1,0 +1,136 @@
+"""AA analysis: per-residue secondary structure.
+
+§4.1 (7): "the secondary structures of the proteins are calculated from
+AA frames and analyzed to determine the most common pattern of protein
+secondary structure observed in the AA simulations." The production
+code shells out to an external tool (~2 s per frame — the cost modeled
+in the Fig. 8 bench); here the classification itself is geometric: the
+turning angle at each interior backbone atom decides helix / extended /
+coil.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["classify_backbone", "SecondaryStructureAnalysis", "consensus_pattern"]
+
+# Turning-angle windows (degrees): tight turns read as helix, straight
+# segments as extended strand, everything else as coil.
+HELIX_RANGE = (60.0, 120.0)
+SHEET_MIN = 150.0
+
+
+def classify_backbone(
+    positions: np.ndarray, backbone: np.ndarray, box: Optional[float] = None
+) -> str:
+    """Secondary-structure string ('H'/'E'/'C'), one char per residue.
+
+    The turning angle at residue i is the interior angle of the triangle
+    (i-1, i, i+1); terminal residues copy their neighbour's class.
+    """
+    backbone = np.asarray(backbone, dtype=np.int64)
+    if backbone.size < 3:
+        return "C" * int(backbone.size)
+    chain = np.asarray(positions, dtype=np.float64)[backbone]
+    prev_vec = chain[:-2] - chain[1:-1]
+    next_vec = chain[2:] - chain[1:-1]
+    if box is not None:
+        prev_vec -= box * np.round(prev_vec / box)
+        next_vec -= box * np.round(next_vec / box)
+    dots = np.einsum("ij,ij->i", prev_vec, next_vec)
+    norms = np.linalg.norm(prev_vec, axis=1) * np.linalg.norm(next_vec, axis=1)
+    cosang = np.clip(dots / np.maximum(norms, 1e-12), -1.0, 1.0)
+    angles = np.degrees(np.arccos(cosang))
+    codes = np.where(
+        (angles >= HELIX_RANGE[0]) & (angles <= HELIX_RANGE[1]),
+        "H",
+        np.where(angles >= SHEET_MIN, "E", "C"),
+    )
+    inner = "".join(codes)
+    return inner[0] + inner + inner[-1]
+
+
+def consensus_pattern(patterns: Iterable[str]) -> str:
+    """Most common SS code per residue position across many frames.
+
+    This is the aggregation step of AA→CG feedback: "determine the most
+    common pattern of protein secondary structure observed".
+    """
+    patterns = list(patterns)
+    if not patterns:
+        raise ValueError("need at least one pattern")
+    length = len(patterns[0])
+    if any(len(p) != length for p in patterns):
+        raise ValueError("all patterns must have equal length")
+    out = []
+    for i in range(length):
+        counts = Counter(p[i] for p in patterns)
+        # Deterministic tie-break: most common, then alphabetical.
+        best = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[0][0]
+        out.append(best)
+    return "".join(out)
+
+
+class SecondaryStructureAnalysis:
+    """Per-simulation SS analysis over a stream of AA frames."""
+
+    def __init__(self, backbone: np.ndarray, box: Optional[float] = None) -> None:
+        self.backbone = np.asarray(backbone, dtype=np.int64)
+        self.box = box
+        self.patterns: List[str] = []
+
+    def analyze_frame(self, positions: np.ndarray) -> str:
+        """Classify one frame; records and returns the SS string."""
+        pattern = classify_backbone(positions, self.backbone, self.box)
+        self.patterns.append(pattern)
+        return pattern
+
+    def consensus(self) -> str:
+        return consensus_pattern(self.patterns)
+
+    def helicity(self) -> float:
+        """Fraction of residue observations classified as helix."""
+        if not self.patterns:
+            return 0.0
+        total = sum(len(p) for p in self.patterns)
+        h = sum(p.count("H") for p in self.patterns)
+        return h / total
+
+    def composition(self) -> dict:
+        """Fraction of observations per SS class across all frames."""
+        if not self.patterns:
+            return {"H": 0.0, "E": 0.0, "C": 0.0}
+        total = sum(len(p) for p in self.patterns)
+        return {
+            code: sum(p.count(code) for p in self.patterns) / total
+            for code in ("H", "E", "C")
+        }
+
+    def transition_counts(self) -> dict:
+        """Per-residue SS transitions between consecutive frames.
+
+        Returns ``{(from, to): count}`` over all residues and frame
+        pairs — the stability signal that tells the feedback loop how
+        settled the consensus is.
+        """
+        counts: dict = {}
+        for prev, curr in zip(self.patterns, self.patterns[1:]):
+            if len(prev) != len(curr):
+                raise ValueError("inconsistent chain lengths across frames")
+            for a, b in zip(prev, curr):
+                counts[(a, b)] = counts.get((a, b), 0) + 1
+        return counts
+
+    def stability(self) -> float:
+        """Fraction of residue observations that kept their SS class
+        between consecutive frames (1.0 = perfectly settled)."""
+        counts = self.transition_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 1.0
+        same = sum(n for (a, b), n in counts.items() if a == b)
+        return same / total

@@ -1,0 +1,15 @@
+"""The coarse-grained (micro) scale: Martini-like Langevin MD (our ddcMD)."""
+
+from repro.sims.cg.forcefield import CGForceField, BeadType
+from repro.sims.cg.engine import CGSim, CGConfig
+from repro.sims.cg.analysis import CGAnalysis, RDFResult, FrameCandidate
+
+__all__ = [
+    "CGForceField",
+    "BeadType",
+    "CGSim",
+    "CGConfig",
+    "CGAnalysis",
+    "RDFResult",
+    "FrameCandidate",
+]

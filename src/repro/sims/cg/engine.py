@@ -1,0 +1,314 @@
+"""The CG Langevin engine (our ddcMD).
+
+Brownian (overdamped Langevin) dynamics of Martini-like beads in a
+periodic 2-D membrane plane::
+
+    x += mobility * F(x) * dt + sqrt(2 * D * dt) * xi
+
+Non-bonded forces come from the force field's soft-core pair potential
+over a periodic neighbour list (``scipy.spatial.cKDTree`` with
+``boxsize``, cross-checked against a brute-force path in the tests);
+protein beads are chained by harmonic bonds whose stiffness tracks the
+secondary-structure pattern — the parameter AA→CG feedback refines
+mid-campaign via :meth:`CGSim.apply_feedback`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.sims.cg.forcefield import CGForceField
+from repro.sims.cg.forcefield import martini_like
+
+__all__ = ["CGConfig", "CGSim"]
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    """Size and numerics of one CG simulation."""
+
+    box: float = 12.0
+    """Periodic box side (reduced units ~ nm; paper patches are 30 nm)."""
+
+    n_lipids: int = 300
+    """Lipid beads (the paper's systems average ~140k particles; tests
+    use hundreds — the workflow does not care)."""
+
+    dt: float = 1e-4
+    """Time step (reduced time units; one unit ≈ 1 ns of CG time)."""
+
+    temperature: float = 1.0
+    mobility: float = 1.0
+    seed: int = 0
+    neighbor_method: str = "tree"
+    """'tree' (cKDTree, default), 'cells' (linked-cell lists, the
+    classic MD structure), or 'brute' (O(n²) reference path)."""
+
+    def __post_init__(self) -> None:
+        if self.box <= 0 or self.dt <= 0 or self.n_lipids < 1:
+            raise ValueError("box, dt positive and n_lipids >= 1 required")
+        if self.neighbor_method not in ("tree", "cells", "brute"):
+            raise ValueError("neighbor_method must be 'tree', 'cells' or 'brute'")
+
+
+class CGSim:
+    """One coarse-grained simulation instance.
+
+    Positions/types may come from :func:`repro.sims.mapping.createsim`
+    (the production path) or be synthesized by :meth:`random_system`.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        type_ids: np.ndarray,
+        forcefield: CGForceField,
+        config: Optional[CGConfig] = None,
+        bonds: Optional[np.ndarray] = None,
+    ) -> None:
+        self.config = config or CGConfig()
+        self.ff = forcefield
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        if positions.shape[1] != 2:
+            raise ValueError("positions must be (n, 2)")
+        self.positions = positions % self.config.box
+        self.type_ids = np.asarray(type_ids, dtype=np.int64)
+        if self.type_ids.shape != (positions.shape[0],):
+            raise ValueError("type_ids must match positions")
+        # bonds: (m, 3) rows of (i, j, rest_length); stiffness per row set
+        # from the force field's SS pattern (cycled if shorter).
+        self.bonds = (
+            np.empty((0, 3)) if bonds is None else np.asarray(bonds, dtype=np.float64)
+        )
+        self.rng = np.random.default_rng(self.config.seed)
+        self.time = 0.0
+        self.step_count = 0
+        self._refresh_bond_stiffness()
+        self._refresh_exclusions()
+
+    def _refresh_exclusions(self) -> None:
+        """Bonded pairs are excluded from non-bonded interactions
+        (standard MD exclusions; bonds alone set their geometry)."""
+        n = self.positions.shape[0]
+        if self.bonds.shape[0]:
+            bi = self.bonds[:, 0].astype(np.int64)
+            bj = self.bonds[:, 1].astype(np.int64)
+            lo = np.minimum(bi, bj)
+            hi = np.maximum(bi, bj)
+            self._excluded_keys = np.unique(lo * n + hi)
+        else:
+            self._excluded_keys = np.empty(0, dtype=np.int64)
+
+    def _filter_excluded(self, ii: np.ndarray, jj: np.ndarray):
+        if self._excluded_keys.size == 0 or ii.size == 0:
+            return ii, jj
+        n = self.positions.shape[0]
+        keys = np.minimum(ii, jj) * n + np.maximum(ii, jj)
+        keep = ~np.isin(keys, self._excluded_keys)
+        return ii[keep], jj[keep]
+
+    # --- construction helpers ------------------------------------------------
+
+    @classmethod
+    def random_system(
+        cls,
+        forcefield: Optional[CGForceField] = None,
+        config: Optional[CGConfig] = None,
+        n_protein_beads: int = 6,
+    ) -> "CGSim":
+        """A lipid bath plus one RAS-RAF protein chain in the middle."""
+        ff = forcefield or martini_like()
+        cfg = config or CGConfig()
+        rng = np.random.default_rng(cfg.seed)
+        lipid_names = ff.lipid_type_names()
+        lipid_pos = rng.random((cfg.n_lipids, 2)) * cfg.box
+        lipid_types = rng.integers(0, len(lipid_names), size=cfg.n_lipids)
+        # Protein chain: half RAS beads, half RAF, spaced at ~0.5 units.
+        prot_pos = np.empty((n_protein_beads, 2))
+        center = np.array([cfg.box / 2, cfg.box / 2])
+        for k in range(n_protein_beads):
+            prot_pos[k] = center + np.array([0.45 * k, 0.0])
+        ras_id = ff.index_of("RAS")
+        raf_id = ff.index_of("RAF")
+        half = n_protein_beads // 2
+        prot_types = np.array([ras_id] * half + [raf_id] * (n_protein_beads - half))
+        positions = np.vstack([lipid_pos, prot_pos])
+        type_ids = np.concatenate([lipid_types, prot_types])
+        # Chain bonds between consecutive protein beads.
+        first = cfg.n_lipids
+        bonds = np.array(
+            [[first + k, first + k + 1, 0.45] for k in range(n_protein_beads - 1)]
+        )
+        return cls(positions, type_ids, ff, cfg, bonds=bonds)
+
+    # --- feedback interface ------------------------------------------------------
+
+    def apply_feedback(self, ss_pattern: str) -> None:
+        """AA→CG feedback: refine bonded parameters from a new SS string."""
+        self.ff.update_secondary_structure(ss_pattern)
+        self._refresh_bond_stiffness()
+
+    def _refresh_bond_stiffness(self) -> None:
+        nb = self.bonds.shape[0]
+        if nb == 0:
+            self._bond_k = np.empty(0)
+            return
+        per_segment = self.ff.bond_stiffness()
+        if per_segment.size == 0:
+            self._bond_k = np.full(nb, 10.0)
+        else:
+            self._bond_k = per_segment[np.arange(nb) % per_segment.size].astype(float)
+
+    # --- forces ----------------------------------------------------------------
+
+    def _min_image(self, d: np.ndarray) -> np.ndarray:
+        box = self.config.box
+        return d - box * np.round(d / box)
+
+    def _pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        rc = self.ff.cutoff
+        if self.config.neighbor_method == "tree":
+            tree = cKDTree(self.positions, boxsize=self.config.box)
+            pairs = tree.query_pairs(rc, output_type="ndarray")
+            return (pairs[:, 0], pairs[:, 1]) if pairs.size else (np.empty(0, int), np.empty(0, int))
+        if self.config.neighbor_method == "cells":
+            return self._pairs_cells(rc)
+        return self._pairs_brute(rc)
+
+    def _pairs_brute(self, rc: float) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.positions.shape[0]
+        ii, jj = np.triu_indices(n, k=1)
+        d = self._min_image(self.positions[ii] - self.positions[jj])
+        r2 = np.einsum("ij,ij->i", d, d)
+        keep = r2 < rc * rc
+        return ii[keep], jj[keep]
+
+    def _pairs_cells(self, rc: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Linked-cell pair search: O(n) candidates at fixed density.
+
+        The box splits into cells no smaller than the cutoff; each cell
+        interacts only with itself and a half stencil of neighbours (so
+        every pair is generated exactly once). Falls back to brute force
+        when the box holds fewer than 3x3 cells, where the periodic
+        stencil would alias.
+        """
+        box = self.config.box
+        ncell = int(box // rc)
+        if ncell < 3:
+            return self._pairs_brute(rc)
+        cell_size = box / ncell
+        cxy = np.floor(self.positions / cell_size).astype(np.int64) % ncell
+        cell_id = cxy[:, 0] * ncell + cxy[:, 1]
+        order = np.argsort(cell_id, kind="stable")
+        sorted_ids = cell_id[order]
+        bins = np.arange(ncell * ncell + 1)
+        starts = np.searchsorted(sorted_ids, bins[:-1])
+        ends = np.searchsorted(sorted_ids, bins[1:])
+        # Half stencil: self + E, N, NE, NW — each unordered cell pair once.
+        stencil = ((0, 0), (1, 0), (0, 1), (1, 1), (1, -1))
+        out_i, out_j = [], []
+        for cx in range(ncell):
+            base = cx * ncell
+            for cy in range(ncell):
+                c = base + cy
+                a = order[starts[c]: ends[c]]
+                if a.size == 0:
+                    continue
+                for ox, oy in stencil:
+                    if ox == 0 and oy == 0:
+                        if a.size < 2:
+                            continue
+                        ti, tj = np.triu_indices(a.size, k=1)
+                        pi, pj = a[ti], a[tj]
+                    else:
+                        nc = ((cx + ox) % ncell) * ncell + (cy + oy) % ncell
+                        b = order[starts[nc]: ends[nc]]
+                        if b.size == 0:
+                            continue
+                        pi = np.repeat(a, b.size)
+                        pj = np.tile(b, a.size)
+                    d = self._min_image(self.positions[pi] - self.positions[pj])
+                    keep = np.einsum("ij,ij->i", d, d) < rc * rc
+                    if keep.any():
+                        out_i.append(pi[keep])
+                        out_j.append(pj[keep])
+        if not out_i:
+            return np.empty(0, int), np.empty(0, int)
+        return np.concatenate(out_i), np.concatenate(out_j)
+
+    def forces(self) -> Tuple[np.ndarray, float]:
+        """Total forces (n, 2) and potential energy."""
+        n = self.positions.shape[0]
+        F = np.zeros((n, 2))
+        energy = 0.0
+        ii, jj = self._filter_excluded(*self._pairs())
+        if ii.size:
+            d = self._min_image(self.positions[ii] - self.positions[jj])
+            r = np.sqrt(np.einsum("ij,ij->i", d, d))
+            r = np.maximum(r, 1e-9)  # overlapping beads: huge but finite force
+            U, Fmag = self.ff.pair_energy_force(r, self.type_ids[ii], self.type_ids[jj])
+            fvec = (Fmag / r)[:, None] * d
+            np.add.at(F, ii, fvec)
+            np.add.at(F, jj, -fvec)
+            energy += float(U.sum())
+        if self.bonds.shape[0]:
+            bi = self.bonds[:, 0].astype(int)
+            bj = self.bonds[:, 1].astype(int)
+            r0 = self.bonds[:, 2]
+            d = self._min_image(self.positions[bi] - self.positions[bj])
+            r = np.maximum(np.sqrt(np.einsum("ij,ij->i", d, d)), 1e-9)
+            k = self._bond_k
+            energy += float(np.sum(0.5 * k * (r - r0) ** 2))
+            fmag = -k * (r - r0)
+            fvec = (fmag / r)[:, None] * d
+            np.add.at(F, bi, fvec)
+            np.add.at(F, bj, -fvec)
+        return F, energy
+
+    # --- integration -----------------------------------------------------------
+
+    def step(self, nsteps: int = 1) -> None:
+        c = self.config
+        sigma = np.sqrt(2.0 * c.mobility * c.temperature * c.dt)
+        for _ in range(nsteps):
+            F, _ = self.forces()
+            noise = self.rng.standard_normal(self.positions.shape) * sigma
+            self.positions = (self.positions + c.mobility * F * c.dt + noise) % c.box
+            self.time += c.dt
+            self.step_count += 1
+
+    # --- views used by analysis ----------------------------------------------
+
+    def protein_mask(self) -> np.ndarray:
+        prot_ids = [self.ff.index_of(nm) for nm in self.ff.protein_type_names()]
+        return np.isin(self.type_ids, prot_ids)
+
+    # --- checkpointing (§4.4: all simulations checkpoint themselves) -----------
+
+    def state_dict(self) -> Dict:
+        return {
+            "positions": self.positions.copy(),
+            "type_ids": self.type_ids.copy(),
+            "bonds": self.bonds.copy(),
+            "time": self.time,
+            "step_count": self.step_count,
+            "rng_state": self.rng.bit_generator.state,
+            "ss_pattern": self.ff.ss_pattern,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        if state["positions"].shape != self.positions.shape:
+            raise ValueError("checkpoint shape mismatch")
+        self.positions = state["positions"].copy()
+        self.type_ids = state["type_ids"].copy()
+        self.bonds = state["bonds"].copy()
+        self.time = float(state["time"])
+        self.step_count = int(state["step_count"])
+        self.rng.bit_generator.state = state["rng_state"]
+        self.ff.update_secondary_structure(state["ss_pattern"])
+        self._refresh_bond_stiffness()
+        self._refresh_exclusions()

@@ -1,0 +1,124 @@
+"""Physical diagnostics for the CG engine.
+
+The production campaign validated its MD engines against benchmarks
+(§5.1, Fig. 4). These observables are the laptop-scale equivalent: they
+verify the Brownian integrator reproduces the statistical mechanics it
+claims (free-particle diffusion, bond-length distributions, energy
+behaviour), which is what the engine tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sims.cg.engine import CGSim
+
+__all__ = ["TrajectoryRecorder", "mean_squared_displacement", "diffusion_coefficient",
+           "bond_length_stats", "EnergySeries"]
+
+
+class TrajectoryRecorder:
+    """Records unwrapped positions so displacement statistics work.
+
+    The engine wraps positions into the periodic box; the recorder
+    accumulates minimum-image displacements between frames, recovering
+    the unwrapped trajectory (valid while per-step moves stay below
+    half the box, which the stability limits guarantee).
+    """
+
+    def __init__(self, sim: CGSim) -> None:
+        self.sim = sim
+        self._last_wrapped = sim.positions.copy()
+        self._unwrapped = sim.positions.copy()
+        self.frames: List[np.ndarray] = [self._unwrapped.copy()]
+        self.times: List[float] = [sim.time]
+
+    def record(self) -> None:
+        """Capture the current state as one frame."""
+        delta = self.sim._min_image(self.sim.positions - self._last_wrapped)
+        self._unwrapped = self._unwrapped + delta
+        self._last_wrapped = self.sim.positions.copy()
+        self.frames.append(self._unwrapped.copy())
+        self.times.append(self.sim.time)
+
+    def run(self, nframes: int, steps_per_frame: int) -> "TrajectoryRecorder":
+        for _ in range(nframes):
+            self.sim.step(steps_per_frame)
+            self.record()
+        return self
+
+    def trajectory(self) -> np.ndarray:
+        """(nframes, n, 2) unwrapped positions."""
+        return np.stack(self.frames)
+
+
+def mean_squared_displacement(
+    trajectory: np.ndarray, select: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """MSD per lag from frame 0: (nframes,) averaged over particles."""
+    traj = np.asarray(trajectory, dtype=float)
+    if traj.ndim != 3:
+        raise ValueError("trajectory must be (nframes, n, 2)")
+    if select is not None:
+        traj = traj[:, select, :]
+    disp = traj - traj[0]
+    return np.einsum("fnd,fnd->fn", disp, disp).mean(axis=1)
+
+
+def diffusion_coefficient(times: np.ndarray, msd: np.ndarray) -> float:
+    """Fit MSD = 4 D t (2-D Einstein relation) by least squares."""
+    t = np.asarray(times, dtype=float)
+    m = np.asarray(msd, dtype=float)
+    if t.shape != m.shape or t.size < 2:
+        raise ValueError("times and msd must be equal-length (>= 2)")
+    denom = float(np.dot(t, t))
+    if denom == 0:
+        raise ValueError("times are all zero")
+    slope = float(np.dot(t, m)) / denom
+    return slope / 4.0
+
+
+def bond_length_stats(sim: CGSim) -> Dict[str, float]:
+    """Mean/std of current bond lengths vs their rest lengths."""
+    if sim.bonds.shape[0] == 0:
+        raise ValueError("system has no bonds")
+    bi = sim.bonds[:, 0].astype(int)
+    bj = sim.bonds[:, 1].astype(int)
+    r0 = sim.bonds[:, 2]
+    d = sim._min_image(sim.positions[bi] - sim.positions[bj])
+    r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    return {
+        "mean": float(r.mean()),
+        "std": float(r.std()),
+        "rest_mean": float(r0.mean()),
+        "max_strain": float(np.max(np.abs(r - r0) / np.maximum(r0, 1e-9))),
+    }
+
+
+@dataclass
+class EnergySeries:
+    """Streaming record of potential energy along a run."""
+
+    times: List[float]
+    energies: List[float]
+
+    @classmethod
+    def collect(cls, sim: CGSim, nsamples: int, steps_per_sample: int) -> "EnergySeries":
+        times, energies = [], []
+        for _ in range(nsamples):
+            sim.step(steps_per_sample)
+            _F, e = sim.forces()
+            times.append(sim.time)
+            energies.append(e)
+        return cls(times=times, energies=energies)
+
+    def drift(self) -> float:
+        """Relative drift of the second half's mean vs the first half's."""
+        e = np.asarray(self.energies)
+        half = e.size // 2
+        first, second = e[:half].mean(), e[half:].mean()
+        scale = max(abs(first), 1e-12)
+        return float((second - first) / scale)

@@ -1,0 +1,13 @@
+"""The continuum (macro) scale: DDFT lipid densities + protein particles."""
+
+from repro.sims.continuum.ddft import ContinuumSim, ContinuumConfig
+from repro.sims.continuum.proteins import ProteinState, ProteinTable
+from repro.sims.continuum.snapshot import Snapshot
+
+__all__ = [
+    "ContinuumSim",
+    "ContinuumConfig",
+    "ProteinState",
+    "ProteinTable",
+    "Snapshot",
+]

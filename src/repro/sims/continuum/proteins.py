@@ -1,0 +1,99 @@
+"""Protein particles living on the continuum membrane.
+
+§4.1 (1): "Proteins (positions and configurational states) are
+represented as particles that interact with each other and with the
+lipids." States model the RAS activation pathway: free RAS can bind a
+RAF to become a RAS-RAF complex (and unbind), which is the event the
+whole campaign is hunting.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ProteinState", "ProteinTable"]
+
+
+class ProteinState(enum.IntEnum):
+    """Configurational state of one membrane protein particle."""
+
+    RAS = 0
+    RAS_RAF = 1
+
+
+class ProteinTable:
+    """Columnar table of protein particles (positions in µm, states).
+
+    Positions live in the periodic box [0, L)²; state transitions are
+    Poisson processes with the given rates (per µs).
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        states: np.ndarray,
+        box: float,
+        bind_rate: float = 0.02,
+        unbind_rate: float = 0.005,
+    ) -> None:
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        states = np.asarray(states, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be (n, 2)")
+        if states.shape != (positions.shape[0],):
+            raise ValueError("states must be (n,)")
+        if box <= 0:
+            raise ValueError("box must be positive")
+        self.positions = positions % box
+        self.states = states
+        self.box = float(box)
+        self.bind_rate = bind_rate
+        self.unbind_rate = unbind_rate
+
+    @classmethod
+    def random(
+        cls,
+        n: int,
+        box: float,
+        rng: np.random.Generator,
+        raf_fraction: float = 0.3,
+        **kwargs,
+    ) -> "ProteinTable":
+        """Uniformly placed proteins, a fraction already RAS-RAF."""
+        positions = rng.random((n, 2)) * box
+        states = np.where(
+            rng.random(n) < raf_fraction, ProteinState.RAS_RAF, ProteinState.RAS
+        ).astype(np.int64)
+        return cls(positions, states, box, **kwargs)
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    def count(self, state: ProteinState) -> int:
+        return int(np.sum(self.states == state))
+
+    def step_states(self, dt: float, rng: np.random.Generator) -> int:
+        """Advance binding/unbinding by ``dt`` µs; returns #transitions."""
+        u = rng.random(len(self))
+        is_ras = self.states == ProteinState.RAS
+        bind = is_ras & (u < 1.0 - np.exp(-self.bind_rate * dt))
+        unbind = ~is_ras & (u < 1.0 - np.exp(-self.unbind_rate * dt))
+        self.states[bind] = ProteinState.RAS_RAF
+        self.states[unbind] = ProteinState.RAS
+        return int(bind.sum() + unbind.sum())
+
+    def displace(self, delta: np.ndarray) -> None:
+        """Move all proteins by ``delta`` (n,2), wrapping periodically."""
+        self.positions = (self.positions + delta) % self.box
+
+    def copy(self) -> "ProteinTable":
+        return ProteinTable(
+            self.positions.copy(),
+            self.states.copy(),
+            self.box,
+            self.bind_rate,
+            self.unbind_rate,
+        )

@@ -1,0 +1,7 @@
+"""Inter-scale mapping: createsim (continuum→CG) and backmapping (CG→AA)."""
+
+from repro.sims.mapping.systems import CGSystem, AASystem
+from repro.sims.mapping.createsim import createsim, build_membrane
+from repro.sims.mapping.backmap import backmap
+
+__all__ = ["CGSystem", "AASystem", "createsim", "build_membrane", "backmap"]

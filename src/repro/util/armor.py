@@ -1,0 +1,108 @@
+"""I/O armoring: retries, backoff, and backup-on-write.
+
+Section 4.2 of the paper: "Where needed, I/O armoring and redundancy is
+used to guard against filesystem failures, e.g., backups of checkpoint
+files and retrials if reading/writing fails." This module provides those
+primitives for every backend.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+__all__ = ["RetryPolicy", "ArmorError", "armored_call", "backup_write", "restore_from_backup"]
+
+
+class ArmorError(RuntimeError):
+    """Raised when an armored call exhausts all its retries.
+
+    The last underlying exception is available as ``__cause__``.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry and how long to wait between attempts.
+
+    ``backoff`` multiplies the delay after each failure; ``sleep`` may be
+    swapped for a no-op (or a virtual-clock advance) in tests.
+    """
+
+    retries: int = 3
+    delay: float = 0.0
+    backoff: float = 2.0
+    exceptions: Tuple[Type[BaseException], ...] = (OSError, IOError)
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
+
+
+def armored_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    **kwargs: Any,
+) -> Any:
+    """Call ``fn(*args, **kwargs)``, retrying per ``policy`` on failure.
+
+    Returns the function's result; raises :class:`ArmorError` once the
+    retry budget is exhausted. ``on_retry(attempt, exc)`` is invoked
+    after each failed attempt (for logging/metrics).
+    """
+    policy = policy or RetryPolicy()
+    delay = policy.delay
+    last_exc: Optional[BaseException] = None
+    for attempt in range(policy.retries + 1):
+        try:
+            return fn(*args, **kwargs)
+        except policy.exceptions as exc:  # noqa: PERF203 - retry loop
+            last_exc = exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if attempt < policy.retries and delay > 0:
+                sleep(delay)
+                delay *= policy.backoff
+    raise ArmorError(
+        f"{getattr(fn, '__name__', fn)!r} failed after {policy.retries + 1} attempts"
+    ) from last_exc
+
+
+def backup_write(path: str, data: bytes, *, backup_suffix: str = ".bak") -> None:
+    """Write ``data`` to ``path``, keeping the previous contents as a backup.
+
+    The write is atomic with respect to crashes: data lands in a temp
+    file first and is renamed into place, and the prior version (if any)
+    survives as ``path + backup_suffix``.
+    """
+    tmp = path + ".tmp"
+    if os.path.exists(path):
+        shutil.copy2(path, path + backup_suffix)
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def restore_from_backup(path: str, *, backup_suffix: str = ".bak") -> bytes:
+    """Read ``path``, falling back to its backup if the primary is bad.
+
+    Raises :class:`ArmorError` when neither the file nor its backup can
+    be read.
+    """
+    for candidate in (path, path + backup_suffix):
+        try:
+            with open(candidate, "rb") as fh:
+                return fh.read()
+        except OSError:
+            continue
+    raise ArmorError(f"neither {path!r} nor its backup could be read")

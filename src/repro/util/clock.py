@@ -1,0 +1,176 @@
+"""Virtual time and a deterministic discrete-event loop.
+
+The paper's campaign ran for three months on Summit. To regenerate its
+campaign-level figures on one machine we run every component against a
+:class:`VirtualClock` — a monotonically advancing float of simulated
+wall-clock seconds — and drive state changes through an
+:class:`EventLoop`, a heap-ordered discrete-event scheduler.
+
+Determinism contract: events firing at the same timestamp are executed
+in insertion order (the heap key includes a monotonically increasing
+sequence number), so two runs with the same seeds produce identical
+histories.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class ClockError(RuntimeError):
+    """Raised on attempts to move a clock backwards."""
+
+
+class VirtualClock:
+    """A monotonically advancing simulated wall clock.
+
+    Parameters
+    ----------
+    start:
+        Initial time in seconds (default 0.0).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ClockError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t``."""
+        if t < self._now:
+            raise ClockError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = float(t)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.3f})"
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordered by (time, sequence)."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Heap-ordered discrete-event scheduler over a :class:`VirtualClock`.
+
+    The loop owns the clock: popping an event advances the clock to the
+    event's timestamp before invoking its callback. Callbacks may
+    schedule further events (at or after the current time).
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self,
+        t: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``t``."""
+        if t < self.clock.now:
+            raise ClockError(
+                f"cannot schedule event in the past: {t} < {self.clock.now}"
+            )
+        ev = Event(time=t, seq=next(self._seq), callback=callback, args=args, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(
+        self,
+        dt: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` after a delay of ``dt`` seconds."""
+        return self.schedule_at(self.clock.now + dt, callback, *args, label=label)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the loop is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> Optional[Event]:
+        """Execute the next live event; return it, or None if drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.callback(*ev.args)
+            self._processed += 1
+            return ev
+        return None
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= t``; advance the clock to ``t``.
+
+        Returns the number of events executed. ``max_events`` is a
+        runaway backstop, not a normal control; exceeding it raises.
+        """
+        n = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > t:
+                break
+            self.step()
+            n += 1
+            if max_events is not None and n > max_events:
+                raise RuntimeError(f"run_until exceeded max_events={max_events}")
+        if t > self.clock.now:
+            self.clock.advance_to(t)
+        return n
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the heap is empty. Returns events executed."""
+        n = 0
+        while self.step() is not None:
+            n += 1
+            if max_events is not None and n > max_events:
+                raise RuntimeError(f"run exceeded max_events={max_events}")
+        return n

@@ -1,0 +1,96 @@
+"""Thread-safety helpers for objects shared across Workflow Manager tasks.
+
+Section 4.4 ("Parallelism and Locking"): the four WM tasks share objects
+such as the Patch Selector, protected by "thread-safe objects ... with a
+mix of blocking and nonblocking locks". :class:`SharedState` provides the
+blocking path; :func:`try_acquire` provides the nonblocking one.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SharedState", "try_acquire", "LockStats"]
+
+
+class LockStats:
+    """Counters for lock contention, used by workflow profiling."""
+
+    __slots__ = ("acquisitions", "contentions", "failed_tries")
+
+    def __init__(self) -> None:
+        self.acquisitions = 0
+        self.contentions = 0
+        self.failed_tries = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "acquisitions": self.acquisitions,
+            "contentions": self.contentions,
+            "failed_tries": self.failed_tries,
+        }
+
+
+class SharedState:
+    """An object wrapper serializing access through an RLock.
+
+    >>> counter = SharedState({"n": 0})
+    >>> with counter.locked() as d:
+    ...     d["n"] += 1
+
+    ``apply`` runs a function under the lock and returns its result,
+    which is the preferred idiom for short critical sections.
+    """
+
+    def __init__(self, obj: Any) -> None:
+        self._obj = obj
+        self._lock = threading.RLock()
+        self.stats = LockStats()
+
+    @contextmanager
+    def locked(self) -> Iterator[Any]:
+        """Blocking acquisition; yields the wrapped object."""
+        acquired_immediately = self._lock.acquire(blocking=False)
+        if not acquired_immediately:
+            self.stats.contentions += 1
+            self._lock.acquire()
+        try:
+            self.stats.acquisitions += 1
+            yield self._obj
+        finally:
+            self._lock.release()
+
+    @contextmanager
+    def try_locked(self) -> Iterator[Optional[Any]]:
+        """Nonblocking acquisition; yields the object or None if busy."""
+        got = self._lock.acquire(blocking=False)
+        try:
+            if got:
+                self.stats.acquisitions += 1
+                yield self._obj
+            else:
+                self.stats.failed_tries += 1
+                yield None
+        finally:
+            if got:
+                self._lock.release()
+
+    def apply(self, fn: Callable[[Any], T]) -> T:
+        """Run ``fn(obj)`` under the lock and return its result."""
+        with self.locked() as obj:
+            return fn(obj)
+
+
+@contextmanager
+def try_acquire(lock: threading.Lock, timeout: float = 0.0) -> Iterator[bool]:
+    """Context manager over ``lock.acquire(timeout=...)`` yielding success."""
+    got = lock.acquire(timeout=timeout) if timeout > 0 else lock.acquire(blocking=False)
+    try:
+        yield got
+    finally:
+        if got:
+            lock.release()

@@ -1,0 +1,23 @@
+"""Namespaced logger setup for the repro package."""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.WARNING) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Handlers are attached once per process; repeated calls are cheap and
+    idempotent.
+    """
+    logger = logging.getLogger(f"repro.{name}" if not name.startswith("repro") else name)
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(level)
+    return logger

@@ -1,0 +1,141 @@
+"""Summary statistics and histogram helpers used by benches and figures.
+
+The paper's figures are distributions (simulation lengths, performance,
+occupancy, feedback times). These helpers compute the summaries the
+benchmarks print, using vectorized NumPy throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "Histogram", "percentile_of", "fraction_at_least"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a 1-D sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "max": self.maximum,
+        }
+
+
+def summarize(data: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``data`` (must be non-empty)."""
+    arr = np.asarray(list(data) if not isinstance(data, np.ndarray) else data, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q = np.percentile(arr, [25, 50, 75])
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        p25=float(q[0]),
+        median=float(q[1]),
+        p75=float(q[2]),
+        maximum=float(arr.max()),
+    )
+
+
+def percentile_of(data: Sequence[float], value: float) -> float:
+    """Fraction (0-100) of samples <= ``value``."""
+    arr = np.asarray(data, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return float(100.0 * np.mean(arr <= value))
+
+
+def fraction_at_least(data: Sequence[float], threshold: float) -> float:
+    """Fraction (0-1) of samples >= ``threshold``.
+
+    Used for headline claims of the form "GPU occupancy was at least 98%
+    for more than 83% of the time".
+    """
+    arr = np.asarray(data, dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(arr >= threshold))
+
+
+class Histogram:
+    """A fixed-bin histogram accumulator with streaming ``add``.
+
+    Unlike ``np.histogram`` this supports incremental accumulation from
+    a running campaign without retaining every sample.
+    """
+
+    def __init__(self, edges: Sequence[float]) -> None:
+        edges_arr = np.asarray(edges, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise ValueError("edges must be a 1-D sequence of at least 2 values")
+        if not np.all(np.diff(edges_arr) > 0):
+            raise ValueError("edges must be strictly increasing")
+        self.edges = edges_arr
+        self.counts = np.zeros(edges_arr.size - 1, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+
+    @classmethod
+    def linear(cls, lo: float, hi: float, nbins: int) -> "Histogram":
+        """Equal-width bins over [lo, hi]."""
+        if nbins < 1:
+            raise ValueError("nbins must be >= 1")
+        return cls(np.linspace(lo, hi, nbins + 1))
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum()) + self.underflow + self.overflow
+
+    def add(self, values: Iterable[float]) -> None:
+        """Accumulate values; out-of-range values go to under/overflow."""
+        arr = np.atleast_1d(np.asarray(values, dtype=float))
+        if arr.size == 0:
+            return
+        self.underflow += int(np.sum(arr < self.edges[0]))
+        self.overflow += int(np.sum(arr > self.edges[-1]))
+        in_range = arr[(arr >= self.edges[0]) & (arr <= self.edges[-1])]
+        if in_range.size:
+            counts, _ = np.histogram(in_range, bins=self.edges)
+            self.counts += counts
+
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def normalized(self) -> np.ndarray:
+        """Counts as fractions of the in-range total (sums to 1)."""
+        s = self.counts.sum()
+        return self.counts / s if s else self.counts.astype(float)
+
+    def mode_bin(self) -> Tuple[float, int]:
+        """(center, count) of the most populated bin."""
+        i = int(np.argmax(self.counts))
+        return float(self.centers()[i]), int(self.counts[i])
+
+    def as_series(self) -> list:
+        """Rows of (bin_lo, bin_hi, count) for table-style printing."""
+        return [
+            (float(self.edges[i]), float(self.edges[i + 1]), int(self.counts[i]))
+            for i in range(self.counts.size)
+        ]

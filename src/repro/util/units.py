@@ -1,0 +1,60 @@
+"""Unit constants and formatting helpers.
+
+All simulated wall-clock times in :mod:`repro` are floats in seconds;
+all simulated physical times are floats in nanoseconds. These helpers
+keep conversions explicit at call sites (``3 * units.HOUR`` reads better
+than ``10800``).
+"""
+
+from __future__ import annotations
+
+# --- wall-clock time (seconds) -----------------------------------------
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+# --- physical (simulated MD) time (nanoseconds) -------------------------
+NS = 1.0
+US = 1e3
+MS = 1e6
+
+# --- data sizes (bytes) --------------------------------------------------
+KB = 1024
+MB = 1024**2
+GB = 1024**3
+TB = 1024**4
+
+
+def format_duration(seconds: float) -> str:
+    """Render a wall-clock duration as a short human-readable string."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.1f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.2f} h"
+    return f"{seconds / DAY:.2f} d"
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    for unit, name in ((TB, "TiB"), (GB, "GiB"), (MB, "MiB"), (KB, "KiB")):
+        if n >= unit:
+            return f"{n / unit:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def format_sim_time(ns: float) -> str:
+    """Render a simulated physical time (given in nanoseconds)."""
+    if ns >= MS:
+        return f"{ns / MS:.3f} ms"
+    if ns >= US:
+        return f"{ns / US:.3f} us"
+    return f"{ns:.3f} ns"

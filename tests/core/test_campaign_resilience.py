@@ -1,0 +1,61 @@
+"""Tests for node-failure injection and resilience in the campaign."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignConfig, CampaignSimulator, RunSpec
+
+
+def run_campaign(failure_rate, seed=13, nnodes=30, hours=6, runs=2):
+    cfg = CampaignConfig(
+        ledger=(RunSpec(nnodes, hours, runs),),
+        node_failures_per_1000node_day=failure_rate,
+        seed=seed,
+    )
+    sim = CampaignSimulator(cfg)
+    return sim, sim.run()
+
+
+class TestFailureInjection:
+    def test_disabled_by_default(self):
+        _, res = run_campaign(0.0)
+        assert res.counters["node_failures"] == 0
+        assert res.counters["sim_failures"] == 0
+
+    def test_failures_occur_at_high_rate(self):
+        _, res = run_campaign(500.0)
+        assert res.counters["node_failures"] > 0
+        assert res.counters["sim_failures"] > 0
+
+    def test_campaign_completes_despite_failures(self):
+        _, res = run_campaign(500.0)
+        assert len(res.cg_lengths_us) > 10
+        assert res.total_node_hours() == 30 * 6 * 2
+
+    def test_failed_sims_lose_at_most_checkpoint_window(self):
+        # With failures, total simulated time shrinks only mildly: each
+        # failure costs <= 15 min of one GPU's progress plus rescheduling.
+        _, clean = run_campaign(0.0, seed=21)
+        _, faulty = run_campaign(300.0, seed=21)
+        total_clean = sum(clean.cg_lengths_us) + sum(clean.aa_lengths_ns) / 1000
+        total_faulty = sum(faulty.cg_lengths_us) + sum(faulty.aa_lengths_ns) / 1000
+        assert total_faulty > 0.5 * total_clean
+
+    def test_failed_sims_resume_and_accumulate(self):
+        sim, res = run_campaign(400.0, seed=5)
+        assert res.counters["sim_failures"] > 0
+        # Some sims that failed still reached substantial lengths — the
+        # checkpoint-resume path works.
+        assert max(res.cg_lengths_us) > 0.15
+
+    def test_drained_nodes_lower_occupancy_tail(self):
+        _, clean = run_campaign(0.0, seed=3)
+        _, faulty = run_campaign(800.0, seed=3)
+        g_clean = np.mean([e.gpu_occupancy for e in clean.profile_events])
+        g_faulty = np.mean([e.gpu_occupancy for e in faulty.profile_events])
+        assert g_faulty < g_clean
+
+    def test_failure_counts_scale_with_rate(self):
+        _, lo = run_campaign(100.0, seed=9)
+        _, hi = run_campaign(1000.0, seed=9)
+        assert hi.counters["node_failures"] > lo.counters["node_failures"]

@@ -1,0 +1,103 @@
+"""Tests for persistent workflows across elastic allocations."""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignConfig
+from repro.core.persistent import (
+    Allocation,
+    AllocationBroker,
+    ClusterSpec,
+    PersistentCampaign,
+)
+from repro.sched.resources import lassen_like, summit_like
+
+SMALL_CLUSTERS = (
+    ClusterSpec("summit", summit_like, max_nodes=40, min_nodes=10,
+                typical_queue_hours=2.0, max_walltime_hours=6.0),
+    ClusterSpec("lassen", lassen_like, max_nodes=25, min_nodes=8,
+                typical_queue_hours=1.0, max_walltime_hours=5.0),
+)
+
+
+class TestAllocationBroker:
+    def test_grants_in_time_order(self):
+        broker = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(0))
+        grants = broker.take(20)
+        times = [a.granted_at_hours for a in grants]
+        assert times == sorted(times)
+
+    def test_grants_respect_cluster_bounds(self):
+        broker = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(1))
+        for a in broker.take(30):
+            spec = next(c for c in SMALL_CLUSTERS if c.name == a.cluster)
+            assert spec.min_nodes <= a.nnodes <= spec.max_nodes
+            assert a.walltime_hours <= spec.max_walltime_hours
+
+    def test_both_clusters_eventually_grant(self):
+        broker = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(2))
+        clusters = {a.cluster for a in broker.take(30)}
+        assert clusters == {"summit", "lassen"}
+
+    def test_grants_vary_in_size(self):
+        broker = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(3))
+        sizes = {a.nnodes for a in broker.take(20)}
+        assert len(sizes) > 5  # genuinely variable-sized
+
+    def test_seeded_reproducibility(self):
+        a = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(4)).take(10)
+        b = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(4)).take(10)
+        assert a == b
+
+    def test_needs_clusters(self):
+        with pytest.raises(ValueError):
+            AllocationBroker(())
+
+
+class TestPersistentCampaign:
+    @pytest.fixture(scope="class")
+    def result(self):
+        broker = AllocationBroker(SMALL_CLUSTERS, rng=np.random.default_rng(7))
+        campaign = PersistentCampaign(
+            broker, node_hour_budget=600.0, config=CampaignConfig(ledger=(), seed=11)
+        )
+        out = campaign.run()
+        out._campaign = campaign  # stash for assertions
+        return out
+
+    def test_budget_met(self, result):
+        assert result.counters["node_hours"] >= 600.0
+        assert result.total_node_hours() == result.counters["node_hours"]
+
+    def test_spans_multiple_clusters(self, result):
+        assert result.counters["clusters_used"] == 2
+        assert result.counters["node_hours_summit"] > 0
+        assert result.counters["node_hours_lassen"] > 0
+
+    def test_table_records_cluster_per_allocation(self, result):
+        assert all("cluster" in row for row in result.table1)
+        assert len(result.table1) >= 3  # several variable allocations
+
+    def test_simulations_persist_across_allocations(self, result):
+        campaign = result._campaign
+        # Some sims accumulated more time than any single allocation
+        # could deliver (walltimes are <= 6h => <= ~0.27 µs of CG time).
+        longest_alloc_hours = max(a.walltime_hours for a in campaign.allocations_used)
+        single_alloc_bound = longest_alloc_hours / 24.0 * 1.3
+        assert max(result.cg_lengths_us) > single_alloc_bound
+
+    def test_occupancy_profiled_across_all_allocations(self, result):
+        assert len(result.profile_events) > 10
+        gpu = np.array([e.gpu_occupancy for e in result.profile_events])
+        assert np.median(gpu) > 0.9
+
+    def test_heterogeneous_gpu_counts_handled(self, result):
+        # Lassen nodes have 4 GPUs, Summit 6; both hosted simulations.
+        campaign = result._campaign
+        lassen_allocs = [a for a in campaign.allocations_used if a.cluster == "lassen"]
+        assert lassen_allocs  # the campaign really ran on the 4-GPU cluster
+
+    def test_budget_validation(self):
+        broker = AllocationBroker(SMALL_CLUSTERS)
+        with pytest.raises(ValueError):
+            PersistentCampaign(broker, node_hour_budget=0)

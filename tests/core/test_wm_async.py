@@ -1,0 +1,43 @@
+"""Tests for the WM's overlapping (production-style) round mode."""
+
+import pytest
+
+from repro.sched.adapter import ThreadAdapter
+from tests.core.test_wm import make_wm
+
+
+class TestOverlappingRounds:
+    def test_wait_false_returns_before_jobs_finish(self):
+        wm, _ = make_wm()
+        wm.round(wait=False)
+        # Jobs may still be in flight; the WM did not block on them.
+        adapter = wm.adapter
+        assert isinstance(adapter, ThreadAdapter)
+        adapter.wait_all()  # drain before asserting final state
+        assert wm.counters["patches"] == 3
+
+    def test_overlapped_rounds_converge_to_same_work(self):
+        # Several non-blocking rounds followed by a drain produce the
+        # same kind of progress as blocking rounds (counts, not exact
+        # values — scheduling interleavings differ by design).
+        wm, store = make_wm()
+        for _ in range(3):
+            wm.round(wait=False)
+        wm.adapter.wait_all()
+        wm.task3_manage_jobs()  # pick up buffers the drain just filled
+        wm.adapter.wait_all()
+        c = wm.counters
+        assert c["snapshots"] == 3
+        assert c["patches_selected"] > 0
+        assert c["cg_finished"] > 0
+        assert len(store.keys("rdf/live/")) + len(store.keys("rdf/done/")) > 0
+
+    def test_counters_never_go_backwards_under_overlap(self):
+        wm, _ = make_wm()
+        prev = dict(wm.counters)
+        for _ in range(3):
+            now = wm.round(wait=False)
+            for key in prev:
+                assert now[key] >= prev[key]
+            prev = now
+        wm.adapter.wait_all()

@@ -1,0 +1,107 @@
+"""FSStore-specific behaviour: armoring, backups, fault injection."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.datastore.fsstore import FaultInjector, FSStore
+from repro.util.armor import ArmorError, RetryPolicy
+
+
+class TestFaultInjector:
+    def test_rate_one_always_fails(self):
+        inj = FaultInjector(rate=1.0)
+        with pytest.raises(OSError):
+            inj("write", "k")
+        assert inj.injected == 1
+
+    def test_rate_zero_never_fails(self):
+        inj = FaultInjector(rate=0.0)
+        for _ in range(100):
+            inj("write", "k")
+        assert inj.injected == 0
+
+    def test_op_filter(self):
+        inj = FaultInjector(rate=1.0, ops=("write",))
+        inj("read", "k")  # not in ops -> no fault
+        with pytest.raises(OSError):
+            inj("write", "k")
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+
+    def test_deterministic_given_seed(self):
+        a = FaultInjector(0.5, rng=np.random.default_rng(1))
+        b = FaultInjector(0.5, rng=np.random.default_rng(1))
+        pattern_a, pattern_b = [], []
+        for pattern, inj in ((pattern_a, a), (pattern_b, b)):
+            for _ in range(50):
+                try:
+                    inj("write", "k")
+                    pattern.append(0)
+                except OSError:
+                    pattern.append(1)
+        assert pattern_a == pattern_b
+
+
+class TestArmoring:
+    def test_retries_absorb_transient_faults(self, tmp_path):
+        # 40% failure rate with 5 retries: writes should virtually always land.
+        inj = FaultInjector(0.4, rng=np.random.default_rng(7))
+        store = FSStore(
+            str(tmp_path), policy=RetryPolicy(retries=8), fault_injector=inj
+        )
+        for i in range(50):
+            store.write(f"k{i}", b"payload")
+        assert len(store.keys()) == 50
+        assert store.retries > 0  # the armor actually did work
+
+    def test_unarmored_equivalent_fails(self, tmp_path):
+        inj = FaultInjector(1.0)
+        store = FSStore(str(tmp_path), policy=RetryPolicy(retries=2), fault_injector=inj)
+        with pytest.raises(ArmorError):
+            store.write("k", b"x")
+
+
+class TestBackups:
+    def test_backup_kept_on_overwrite(self, tmp_path):
+        store = FSStore(str(tmp_path), backup_writes=True)
+        store.write("ckpt", b"v1")
+        store.write("ckpt", b"v2")
+        assert os.path.exists(os.path.join(str(tmp_path), "ckpt.bak"))
+
+    def test_read_falls_back_to_backup(self, tmp_path):
+        store = FSStore(str(tmp_path), backup_writes=True)
+        store.write("ckpt", b"v1")
+        store.write("ckpt", b"v2")
+        os.remove(os.path.join(str(tmp_path), "ckpt"))
+        assert store.read("ckpt") == b"v1"
+
+    def test_backup_files_hidden_from_keys(self, tmp_path):
+        store = FSStore(str(tmp_path), backup_writes=True)
+        store.write("ckpt", b"v1")
+        store.write("ckpt", b"v2")
+        assert store.keys() == ["ckpt"]
+
+    def test_delete_removes_backup_too(self, tmp_path):
+        store = FSStore(str(tmp_path), backup_writes=True)
+        store.write("ckpt", b"v1")
+        store.write("ckpt", b"v2")
+        store.delete("ckpt")
+        assert store.keys() == []
+        assert not os.path.exists(os.path.join(str(tmp_path), "ckpt.bak"))
+
+
+class TestLayout:
+    def test_nested_keys_become_directories(self, tmp_path):
+        store = FSStore(str(tmp_path))
+        store.write("a/b/c", b"x")
+        assert os.path.isfile(os.path.join(str(tmp_path), "a", "b", "c"))
+
+    def test_nfiles_counts_inodes(self, tmp_path):
+        store = FSStore(str(tmp_path))
+        for i in range(10):
+            store.write(f"dir/{i}", b"x")
+        assert store.nfiles() == 10

@@ -1,0 +1,92 @@
+"""Tests for automatic I/O accounting on every backend."""
+
+import pytest
+
+from repro.datastore import FSStore, KVStore, TaridxStore
+from repro.datastore.stats import IOStats
+
+
+@pytest.fixture(params=["fs", "taridx", "kv"])
+def store(request, tmp_path):
+    if request.param == "fs":
+        s = FSStore(str(tmp_path / "fs"))
+    elif request.param == "taridx":
+        s = TaridxStore(str(tmp_path / "tar"))
+    else:
+        s = KVStore(nservers=2)
+    yield s
+    s.close()
+
+
+class TestAutomaticInstrumentation:
+    def test_writes_counted_with_bytes(self, store):
+        store.write("a", b"12345")
+        store.write("b", b"1234567890")
+        assert store.stats.writes == 2
+        assert store.stats.bytes_written == 15
+
+    def test_reads_counted_with_bytes(self, store):
+        store.write("a", b"12345")
+        store.read("a")
+        store.read("a")
+        assert store.stats.reads == 2
+        assert store.stats.bytes_read == 10
+
+    def test_deletes_moves_scans(self, store):
+        store.write("a", b"x")
+        store.write("b", b"y")
+        store.keys()
+        store.move("a", "c")
+        store.delete("b")
+        assert store.stats.scans == 1
+        assert store.stats.moves == 1
+        assert store.stats.deletes == 1
+
+    def test_typed_helpers_flow_through(self, store):
+        import numpy as np
+
+        store.write_npz("arr", {"x": np.arange(10)})
+        store.read_npz("arr")
+        assert store.stats.writes == 1
+        assert store.stats.reads == 1
+        assert store.stats.bytes_written > 0
+        assert store.stats.bytes_written == store.stats.bytes_read
+
+    def test_stats_are_per_instance(self, tmp_path):
+        a = KVStore()
+        b = KVStore()
+        a.write("k", b"xxx")
+        assert a.stats.writes == 1
+        assert b.stats.writes == 0
+
+    def test_ops_total_and_reset(self, store):
+        store.write("a", b"x")
+        store.keys()
+        assert store.stats.ops() == 2
+        store.stats.reset()
+        assert store.stats.ops() == 0
+        assert store.stats.as_dict()["bytes_written"] == 0
+
+
+class TestIOStatsUnit:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats().note("frobnicate")
+
+    def test_as_dict_fields(self):
+        s = IOStats()
+        s.note("write", 100)
+        d = s.as_dict()
+        assert d["writes"] == 1 and d["bytes_written"] == 100
+
+
+class TestWorkflowDataVolume:
+    def test_wm_round_accumulates_io(self):
+        """The WM's data production is visible through store stats —
+        the per-day TB accounting the campaign reports."""
+        from tests.core.test_wm import make_wm
+
+        wm, store = make_wm()
+        wm.round()
+        assert store.stats.bytes_written > 1000  # patches + RDFs + SS
+        assert store.stats.writes > 5

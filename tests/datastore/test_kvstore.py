@@ -1,0 +1,181 @@
+"""KV-cluster-specific behaviour: slotting, routing, counters, latency."""
+
+import numpy as np
+import pytest
+
+from repro.datastore.base import KeyNotFound, StoreError
+from repro.datastore.kvstore import (
+    KVCluster,
+    KVServer,
+    KVStore,
+    LatencyModel,
+    key_slot,
+)
+
+
+class TestKeySlot:
+    def test_stable(self):
+        assert key_slot("rdf/frame-1") == key_slot("rdf/frame-1")
+
+    def test_in_range(self):
+        for k in ("a", "b", "rdf/f", "x" * 100):
+            assert 0 <= key_slot(k) < 16384
+
+    def test_hash_tags_group_keys(self):
+        # Redis semantics: only the {...} part is hashed.
+        assert key_slot("{sim42}/rdf") == key_slot("{sim42}/frames")
+
+    def test_known_redis_vector(self):
+        # CRC16-XModem("123456789") == 0x31C3 == 12739 (standard test vector).
+        assert key_slot("123456789") == 12739 % 16384
+
+
+class TestKVServer:
+    def test_set_get(self):
+        s = KVServer()
+        s.set("k", b"v")
+        assert s.get("k") == b"v"
+
+    def test_get_missing(self):
+        with pytest.raises(KeyNotFound):
+            KVServer().get("k")
+
+    def test_delete(self):
+        s = KVServer()
+        s.set("k", b"v")
+        s.delete("k")
+        assert len(s) == 0
+        with pytest.raises(KeyNotFound):
+            s.delete("k")
+
+    def test_rename(self):
+        s = KVServer()
+        s.set("a", b"v")
+        s.rename("a", "b")
+        assert s.get("b") == b"v"
+        with pytest.raises(KeyNotFound):
+            s.rename("nope", "x")
+
+    def test_scan_prefix(self):
+        s = KVServer()
+        s.set("rdf/1", b"")
+        s.set("rdf/2", b"")
+        s.set("other", b"")
+        assert sorted(s.scan("rdf/")) == ["rdf/1", "rdf/2"]
+
+    def test_counters(self):
+        s = KVServer()
+        s.set("k", b"v")
+        s.get("k")
+        s.scan()
+        assert s.counters.set == 1
+        assert s.counters.get == 1
+        assert s.counters.scan == 1
+        assert s.counters.total() == 3
+
+    def test_flush_and_memory(self):
+        s = KVServer()
+        s.set("k", b"12345")
+        assert s.memory_bytes() == 5
+        s.flush()
+        assert len(s) == 0
+
+
+class TestKVCluster:
+    def test_routing_is_consistent(self):
+        c = KVCluster(nservers=5)
+        c.set("key", b"v")
+        assert c.server_for("key").get("key") == b"v"
+
+    def test_keys_spread_across_servers(self):
+        c = KVCluster(nservers=10)
+        for i in range(2000):
+            c.set(f"frame-{i:05d}", b"x")
+        lo, hi = c.balance()
+        assert lo > 0  # every shard got something
+        assert hi < 2000  # and no shard got everything
+
+    def test_scan_aggregates_all_servers(self):
+        c = KVCluster(nservers=4)
+        for i in range(50):
+            c.set(f"k{i:02d}", b"x")
+        assert len(c.scan()) == 50
+
+    def test_cross_slot_rename(self):
+        c = KVCluster(nservers=7)
+        c.set("aaa", b"payload")
+        c.rename("aaa", "zzzzzz")
+        assert c.get("zzzzzz") == b"payload"
+        with pytest.raises(KeyNotFound):
+            c.get("aaa")
+
+    def test_len_counts_all(self):
+        c = KVCluster(nservers=3)
+        for i in range(20):
+            c.set(f"k{i}", b"")
+        assert len(c) == 20
+
+    def test_needs_one_server(self):
+        with pytest.raises(StoreError):
+            KVCluster(nservers=0)
+
+    def test_aggregate_counters(self):
+        c = KVCluster(nservers=3)
+        for i in range(10):
+            c.set(f"k{i}", b"v")
+        for i in range(10):
+            c.get(f"k{i}")
+        agg = c.counters()
+        assert agg.set == 10 and agg.get == 10
+
+
+class TestLatencyModel:
+    def test_costs_accumulate(self):
+        c = KVCluster(nservers=2, latency=LatencyModel(per_op=0.001, per_byte=0.0))
+        for i in range(10):
+            c.set(f"k{i}", b"x")
+        assert c.virtual_time_spent == pytest.approx(0.01)
+
+    def test_reads_cost_more_with_larger_payloads(self):
+        lm = LatencyModel(per_op=0.0, per_byte=1e-6)
+        c = KVCluster(nservers=1, latency=lm)
+        c.set("small", b"x")
+        c.set("big", b"x" * 10_000)
+        c.drain_virtual_time()
+        c.get("small")
+        t_small = c.drain_virtual_time()
+        c.get("big")
+        t_big = c.drain_virtual_time()
+        assert t_big > t_small
+
+    def test_scan_cost_scales_with_keys(self):
+        lm = LatencyModel(per_op=0.0, per_byte=0.0, scan_per_key=1e-5)
+        c = KVCluster(nservers=1, latency=lm)
+        for i in range(100):
+            c.set(f"k{i:03d}", b"")
+        c.drain_virtual_time()
+        c.scan()
+        assert c.drain_virtual_time() == pytest.approx(100 * 1e-5)
+
+    def test_drain_resets(self):
+        c = KVCluster(latency=LatencyModel())
+        c.set("k", b"v")
+        assert c.drain_virtual_time() > 0
+        assert c.drain_virtual_time() == 0.0
+
+    def test_no_latency_model_costs_nothing(self):
+        c = KVCluster(nservers=1)
+        c.set("k", b"v")
+        assert c.virtual_time_spent == 0.0
+
+
+class TestKVStoreAdapter:
+    def test_shares_cluster(self):
+        cluster = KVCluster(nservers=2)
+        store = KVStore(cluster)
+        store.write("k", b"v")
+        assert cluster.get("k") == b"v"
+
+    def test_default_cluster(self):
+        store = KVStore(nservers=4)
+        assert len(store.cluster.servers) == 4

@@ -1,0 +1,149 @@
+"""Tests for taridx compaction (space reclamation of dead entries)."""
+
+import os
+import tarfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datastore.taridx import IndexedTar, TaridxStore
+
+
+class TestIndexedTarCompaction:
+    def test_compact_drops_superseded_versions(self, tmp_path):
+        arc = IndexedTar(str(tmp_path / "a.tar"))
+        for _ in range(10):
+            arc.append("k", b"x" * 4096)  # 10 versions, 9 dead
+        assert arc.dead_payload() == 9 * 4096
+        freed = arc.compact()
+        # tar archives have a 10 KiB end-of-archive record, so savings
+        # are measured above that floor.
+        assert freed > 7 * 4096
+        assert arc.read("k") == b"x" * 4096
+        assert arc.dead_payload() == 0
+        arc.close()
+
+    def test_compact_drops_tombstoned_keys(self, tmp_path):
+        arc = IndexedTar(str(tmp_path / "a.tar"))
+        arc.append("keep", b"live")
+        arc.append("dead", b"y" * 50_000)
+        arc.tombstone("dead")
+        assert arc.dead_payload() >= 50_000
+        freed = arc.compact()
+        assert freed >= 40_000
+        assert arc.read("keep") == b"live"
+        assert "dead" not in arc
+        arc.close()
+
+    def test_compacted_archive_is_standard_tar(self, tmp_path):
+        path = str(tmp_path / "a.tar")
+        arc = IndexedTar(path)
+        arc.append("x", b"1")
+        arc.append("x", b"2")
+        arc.append("y", b"3")
+        arc.compact()
+        arc.close()
+        with tarfile.open(path) as tar:
+            names = tar.getnames()
+            assert sorted(names) == ["x", "y"]
+            assert tar.extractfile("x").read() == b"2"
+
+    def test_writes_continue_after_compaction(self, tmp_path):
+        arc = IndexedTar(str(tmp_path / "a.tar"))
+        arc.append("a", b"1")
+        arc.append("a", b"2")
+        arc.compact()
+        arc.append("b", b"3")
+        assert arc.read("a") == b"2"
+        assert arc.read("b") == b"3"
+        arc.close()
+
+    def test_compaction_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "a.tar")
+        arc = IndexedTar(path)
+        for i in range(5):
+            arc.append("k", str(i).encode())
+        arc.compact()
+        arc.close()
+        arc2 = IndexedTar(path)
+        assert arc2.read("k") == b"4"
+        assert len(arc2) == 1
+        arc2.close()
+
+    def test_live_bytes_accounting(self, tmp_path):
+        arc = IndexedTar(str(tmp_path / "a.tar"))
+        arc.append("a", b"x" * 100)
+        arc.append("b", b"y" * 50)
+        assert arc.live_bytes() == 150
+        arc.tombstone("a")
+        assert arc.live_bytes() == 50
+        arc.close()
+
+    def test_compact_empty_archive(self, tmp_path):
+        arc = IndexedTar(str(tmp_path / "a.tar"))
+        arc.append("only", b"z")
+        arc.tombstone("only")
+        arc.compact()
+        assert len(arc) == 0
+        arc.close()
+
+
+class TestStoreCompaction:
+    def test_store_compact_preserves_all_data(self, tmp_path):
+        store = TaridxStore(str(tmp_path), max_entries=10)
+        for i in range(30):
+            store.write(f"k{i % 7}", f"v{i}".encode())  # heavy overwriting
+        expected = {f"k{i}": store.read(f"k{i}") for i in range(7)}
+        freed = store.compact()
+        assert freed > 0
+        for key, value in expected.items():
+            assert store.read(key) == value
+        assert store.nentries() == 7
+        store.close()
+
+    def test_wasted_bytes_reports_dead_payload(self, tmp_path):
+        store = TaridxStore(str(tmp_path))
+        store.write("k", b"x" * 1000)
+        store.write("k", b"x" * 1000)
+        assert store.wasted_bytes() == 1000
+        store.compact()
+        assert store.wasted_bytes() == 0
+        store.close()
+
+    def test_moves_survive_compaction(self, tmp_path):
+        store = TaridxStore(str(tmp_path))
+        store.write("live/a", b"payload")
+        store.move("live/a", "done/a")
+        store.compact()
+        assert store.read("done/a") == b"payload"
+        assert store.keys() == ["done/a"]
+        store.close()
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["write", "delete"]),
+                  st.sampled_from(["a", "b", "c"]),
+                  st.binary(min_size=1, max_size=40)),
+        min_size=1, max_size=40,
+    )
+)
+def test_property_compaction_preserves_visible_state(tmp_path_factory, ops):
+    tmp = tmp_path_factory.mktemp("compact")
+    arc = IndexedTar(str(tmp / "a.tar"))
+    model = {}
+    for op, key, payload in ops:
+        if op == "write":
+            arc.append(key, payload)
+            model[key] = payload
+        elif key in model:
+            arc.tombstone(key)
+            del model[key]
+    arc.compact()
+    assert sorted(arc.keys()) == sorted(model)
+    for key, value in model.items():
+        assert arc.read(key) == value
+    arc.close()

@@ -1,0 +1,86 @@
+"""Tests for the patch encoder and metric training."""
+
+import numpy as np
+import pytest
+
+from repro.ml.encoder import PatchEncoder, train_metric_encoder
+
+
+class TestPatchEncoder:
+    def test_output_shape(self):
+        enc = PatchEncoder(input_dim=25, latent_dim=9, hidden=(16,))
+        z = enc.encode(np.zeros((10, 25)))
+        assert z.shape == (10, 9)
+
+    def test_single_patch(self):
+        enc = PatchEncoder(input_dim=25)
+        assert enc(np.zeros(25)).shape == (1, 9)
+
+    def test_wrong_input_dim(self):
+        enc = PatchEncoder(input_dim=25)
+        with pytest.raises(ValueError):
+            enc.encode(np.zeros((2, 24)))
+
+    def test_invalid_latent(self):
+        with pytest.raises(ValueError):
+            PatchEncoder(input_dim=10, latent_dim=0)
+
+    def test_deterministic(self):
+        rng1 = np.random.default_rng(11)
+        rng2 = np.random.default_rng(11)
+        a = PatchEncoder(16, rng=rng1)
+        b = PatchEncoder(16, rng=rng2)
+        x = np.random.default_rng(0).random((3, 16))
+        np.testing.assert_array_equal(a(x), b(x))
+
+    def test_state_roundtrip(self):
+        enc = PatchEncoder(16, rng=np.random.default_rng(1))
+        other = PatchEncoder(16, rng=np.random.default_rng(2))
+        other.load_state_dict(enc.state_dict())
+        x = np.random.default_rng(0).random((3, 16))
+        np.testing.assert_array_equal(enc(x), other(x))
+
+
+class TestMetricTraining:
+    def _clustered_data(self, rng, n_per=40, dim=16):
+        """Two well-separated clusters in input space."""
+        a = rng.normal(0.0, 0.3, size=(n_per, dim))
+        b = rng.normal(4.0, 0.3, size=(n_per, dim))
+        return np.vstack([a, b])
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(0)
+        data = self._clustered_data(rng)
+        enc = PatchEncoder(16, latent_dim=4, hidden=(32,), rng=rng)
+        report = train_metric_encoder(enc, data, epochs=150, lr=3e-3, rng=rng)
+        assert report.improved()
+        assert len(report.losses) == 150
+
+    def test_training_separates_clusters_in_latent_space(self):
+        rng = np.random.default_rng(1)
+        data = self._clustered_data(rng)
+        enc = PatchEncoder(16, latent_dim=4, hidden=(32,), rng=rng)
+        train_metric_encoder(enc, data, epochs=300, lr=3e-3, rng=rng)
+        z = enc.encode(data)
+        za, zb = z[:40], z[40:]
+        intra = np.linalg.norm(za - za.mean(0), axis=1).mean() + np.linalg.norm(
+            zb - zb.mean(0), axis=1
+        ).mean()
+        inter = np.linalg.norm(za.mean(0) - zb.mean(0))
+        assert inter > intra  # clusters are farther apart than they are wide
+
+    def test_needs_two_patches(self):
+        enc = PatchEncoder(4)
+        with pytest.raises(ValueError):
+            train_metric_encoder(enc, np.zeros((1, 4)))
+
+    def test_reproducible(self):
+        rng_data = np.random.default_rng(5)
+        data = self._clustered_data(rng_data)
+
+        def run():
+            enc = PatchEncoder(16, latent_dim=3, hidden=(8,), rng=np.random.default_rng(3))
+            train_metric_encoder(enc, data, epochs=20, rng=np.random.default_rng(4))
+            return enc.encode(data)
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,216 @@
+"""Tests for the NumPy neural-net core, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import mse_loss, triplet_loss
+from repro.ml.nn import MLP, Dense, identity, relu, tanh
+from repro.ml.optim import SGD, Adam
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu.fn(x), [0, 0, 2])
+        np.testing.assert_array_equal(relu.grad(x), [0, 0, 1])
+
+    def test_tanh_grad(self):
+        x = np.array([0.0, 1.0])
+        np.testing.assert_allclose(tanh.grad(x), 1 - np.tanh(x) ** 2)
+
+    def test_identity(self):
+        x = np.array([3.0])
+        assert identity.fn(x)[0] == 3.0
+        assert identity.grad(x)[0] == 1.0
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        out = layer.forward(np.zeros((7, 4)))
+        assert out.shape == (7, 3)
+
+    def test_backward_requires_forward(self):
+        layer = Dense(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3)
+
+
+class TestMLPForward:
+    def test_shapes(self):
+        net = MLP([5, 8, 3], rng=np.random.default_rng(0))
+        out = net.forward(np.zeros((10, 5)))
+        assert out.shape == (10, 3)
+
+    def test_1d_input_promoted(self):
+        net = MLP([5, 3])
+        assert net(np.zeros(5)).shape == (1, 3)
+
+    def test_needs_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([5])
+
+    def test_nparams(self):
+        net = MLP([4, 3, 2])
+        assert net.nparams() == (4 * 3 + 3) + (3 * 2 + 2)
+
+    def test_deterministic_given_rng(self):
+        a = MLP([4, 3], rng=np.random.default_rng(5))
+        b = MLP([4, 3], rng=np.random.default_rng(5))
+        x = np.ones((2, 4))
+        np.testing.assert_array_equal(a(x), b(x))
+
+
+def numeric_grad(f, arr, eps=1e-6):
+    """Central-difference gradient of scalar f wrt arr (in place)."""
+    grad = np.zeros_like(arr)
+    it = np.nditer(arr, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = arr[idx]
+        arr[idx] = orig + eps
+        hi = f()
+        arr[idx] = orig - eps
+        lo = f()
+        arr[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestGradients:
+    def test_mse_backprop_matches_finite_differences(self):
+        rng = np.random.default_rng(0)
+        net = MLP([3, 4, 2], activation=tanh, rng=rng)  # tanh: smooth
+        x = rng.random((5, 3))
+        y = rng.random((5, 2))
+
+        def loss_fn():
+            return mse_loss(net.forward(x), y)[0]
+
+        _, grad = mse_loss(net.forward(x, train=True), y)
+        net.backward(grad)
+        analytic = net.gradients()
+        arrays = [arr for _, _, arr in net.parameters()]
+        for arr, g in zip(arrays, analytic):
+            numeric = numeric_grad(loss_fn, arr)
+            np.testing.assert_allclose(g, numeric, rtol=1e-4, atol=1e-7)
+
+    def test_input_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(1)
+        net = MLP([3, 4, 1], activation=tanh, rng=rng)
+        x = rng.random((2, 3))
+        y = np.zeros((2, 1))
+        _, grad = mse_loss(net.forward(x, train=True), y)
+        dx = net.backward(grad)
+
+        def loss_fn():
+            return mse_loss(net.forward(x), y)[0]
+
+        numeric = numeric_grad(loss_fn, x)
+        np.testing.assert_allclose(dx, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestLosses:
+    def test_mse_zero_at_match(self):
+        x = np.ones((2, 3))
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, np.zeros_like(x))
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((1, 2)), np.zeros((2, 2)))
+
+    def test_triplet_zero_when_separated(self):
+        a = np.array([[0.0, 0.0]])
+        p = np.array([[0.1, 0.0]])
+        n = np.array([[10.0, 0.0]])
+        loss, ga, gp, gn = triplet_loss(a, p, n, margin=1.0)
+        assert loss == 0.0
+        assert np.all(ga == 0) and np.all(gp == 0) and np.all(gn == 0)
+
+    def test_triplet_positive_when_violated(self):
+        a = np.array([[0.0]])
+        p = np.array([[5.0]])
+        n = np.array([[0.1]])
+        loss, *_ = triplet_loss(a, p, n, margin=1.0)
+        assert loss > 0
+
+    def test_triplet_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((4, 3))
+        p = rng.random((4, 3))
+        n = rng.random((4, 3))
+        loss, ga, gp, gn = triplet_loss(a, p, n, margin=0.5)
+        for arr, g in ((a, ga), (p, gp), (n, gn)):
+            numeric = numeric_grad(lambda: triplet_loss(a, p, n, margin=0.5)[0], arr)
+            np.testing.assert_allclose(g, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_triplet_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            triplet_loss(np.zeros((1, 2)), np.zeros((1, 2)), np.zeros((1, 3)))
+
+
+class TestOptimizers:
+    def _toy_problem(self, opt_cls, **kwargs):
+        rng = np.random.default_rng(3)
+        net = MLP([2, 8, 1], activation=tanh, rng=rng)
+        x = rng.random((64, 2))
+        y = (x[:, :1] + x[:, 1:]) / 2  # easy linear target
+        opt = opt_cls(net, **kwargs)
+        first = None
+        for _ in range(200):
+            loss, grad = mse_loss(net.forward(x, train=True), y)
+            if first is None:
+                first = loss
+            net.backward(grad)
+            opt.step()
+        return first, loss
+
+    def test_sgd_reduces_loss(self):
+        first, last = self._toy_problem(SGD, lr=0.1)
+        assert last < first * 0.2
+
+    def test_sgd_momentum_reduces_loss(self):
+        first, last = self._toy_problem(SGD, lr=0.05, momentum=0.9)
+        assert last < first * 0.2
+
+    def test_adam_reduces_loss(self):
+        first, last = self._toy_problem(Adam, lr=0.01)
+        assert last < first * 0.2
+
+    def test_invalid_hyperparams(self):
+        net = MLP([2, 1])
+        with pytest.raises(ValueError):
+            SGD(net, lr=0)
+        with pytest.raises(ValueError):
+            SGD(net, lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(net, lr=-1)
+
+
+class TestPersistence:
+    def test_state_dict_roundtrip(self):
+        net = MLP([3, 4, 2], rng=np.random.default_rng(7))
+        state = net.state_dict()
+        other = MLP([3, 4, 2], rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        x = np.random.default_rng(0).random((5, 3))
+        np.testing.assert_array_equal(net(x), other(x))
+
+    def test_state_dict_is_a_copy(self):
+        net = MLP([2, 2])
+        state = net.state_dict()
+        state["layer0.W"][:] = 999
+        assert not np.any(net.layers[0].W == 999)
+
+    def test_shape_mismatch_rejected(self):
+        net = MLP([2, 2])
+        bad = MLP([3, 2]).state_dict()
+        with pytest.raises(ValueError):
+            net.load_state_dict(bad)

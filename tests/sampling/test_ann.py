@@ -1,0 +1,119 @@
+"""Tests for the nearest-neighbour backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sampling.ann import ExactIndex, KDTreeIndex, ProjectionIndex
+
+ALL_INDEXES = [ExactIndex, KDTreeIndex, lambda: ProjectionIndex(ncells=4, nprobe=4)]
+
+
+@pytest.fixture(params=ALL_INDEXES, ids=["exact", "kdtree", "projection-full-probe"])
+def index(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_empty_index_returns_inf(self, index):
+        index.build(np.empty((0, 3)))
+        out = index.nearest_distance(np.ones((2, 3)))
+        assert np.all(np.isinf(out))
+
+    def test_query_on_indexed_point_is_zero(self, index):
+        coords = np.array([[0.0, 0.0], [1.0, 1.0]])
+        index.build(coords)
+        d = index.nearest_distance(np.array([[1.0, 1.0]]))
+        assert d[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_distance(self, index):
+        index.build(np.array([[0.0, 0.0]]))
+        d = index.nearest_distance(np.array([[3.0, 4.0]]))
+        assert d[0] == pytest.approx(5.0)
+
+    def test_batch_queries(self, index):
+        index.build(np.array([[0.0], [10.0]]))
+        d = index.nearest_distance(np.array([[1.0], [9.0], [4.0]]))
+        np.testing.assert_allclose(d, [1.0, 1.0, 4.0])
+
+    def test_size(self, index):
+        index.build(np.random.default_rng(0).random((7, 2)))
+        assert index.size == 7
+
+    def test_rebuild_replaces(self, index):
+        index.build(np.array([[0.0]]))
+        index.build(np.array([[100.0]]))
+        d = index.nearest_distance(np.array([[0.0]]))
+        assert d[0] == pytest.approx(100.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    coords=hnp.arrays(np.float64, st.tuples(st.integers(1, 30), st.just(4)),
+                      elements=st.floats(-100, 100)),
+    queries=hnp.arrays(np.float64, st.tuples(st.integers(1, 10), st.just(4)),
+                       elements=st.floats(-100, 100)),
+)
+def test_property_kdtree_matches_exact(coords, queries):
+    exact, tree = ExactIndex(), KDTreeIndex()
+    exact.build(coords)
+    tree.build(coords)
+    # ExactIndex uses the ||q||^2 - 2q.c + ||c||^2 expansion, which loses
+    # a few ULPs to cancellation at large coordinates — hence atol 1e-5.
+    np.testing.assert_allclose(
+        exact.nearest_distance(queries), tree.nearest_distance(queries), rtol=1e-6, atol=1e-5
+    )
+
+
+class TestProjectionIndex:
+    def test_full_probe_is_exact(self):
+        rng = np.random.default_rng(3)
+        coords = rng.random((200, 9))
+        queries = rng.random((50, 9))
+        exact = ExactIndex()
+        exact.build(coords)
+        approx = ProjectionIndex(ncells=8, nprobe=8)
+        approx.build(coords)
+        np.testing.assert_allclose(
+            exact.nearest_distance(queries), approx.nearest_distance(queries), rtol=1e-9
+        )
+
+    def test_partial_probe_overestimates_at_worst(self):
+        # Approximation can only miss the true nearest -> distance >= exact.
+        rng = np.random.default_rng(4)
+        coords = rng.random((500, 9))
+        queries = rng.random((100, 9))
+        exact = ExactIndex()
+        exact.build(coords)
+        approx = ProjectionIndex(ncells=16, nprobe=1)
+        approx.build(coords)
+        d_exact = exact.nearest_distance(queries)
+        d_approx = approx.nearest_distance(queries)
+        assert np.all(d_approx >= d_exact - 1e-12)
+
+    def test_partial_probe_recall_is_reasonable(self):
+        rng = np.random.default_rng(5)
+        coords = rng.random((1000, 9))
+        queries = rng.random((200, 9))
+        exact = ExactIndex()
+        exact.build(coords)
+        approx = ProjectionIndex(ncells=16, nprobe=4)
+        approx.build(coords)
+        d_exact = exact.nearest_distance(queries)
+        d_approx = approx.nearest_distance(queries)
+        recall = np.mean(np.isclose(d_exact, d_approx))
+        assert recall > 0.5  # probing 1/4 of cells finds most true NNs
+
+    def test_fewer_points_than_cells(self):
+        approx = ProjectionIndex(ncells=64, nprobe=64)
+        approx.build(np.array([[0.0, 0.0], [5.0, 5.0]]))
+        d = approx.nearest_distance(np.array([[0.0, 1.0]]))
+        assert d[0] == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProjectionIndex(ncells=0)
+        with pytest.raises(ValueError):
+            ProjectionIndex(ncells=4, nprobe=0)

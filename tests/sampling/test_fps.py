@@ -1,0 +1,201 @@
+"""Tests for the farthest-point (Patch) sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.ann import ExactIndex, ProjectionIndex
+from repro.sampling.fps import FarthestPointSampler
+from repro.sampling.points import Point
+
+
+def P(pid, *coords):
+    return Point(id=pid, coords=np.array(coords, dtype=float))
+
+
+class TestBasics:
+    def test_add_is_cheap_and_counted(self):
+        s = FarthestPointSampler(dim=2)
+        for i in range(10):
+            s.add(P(f"p{i}", float(i), 0.0))
+        assert s.ncandidates() == 10
+        assert s.nselected() == 0
+
+    def test_wrong_dim_rejected(self):
+        s = FarthestPointSampler(dim=2)
+        with pytest.raises(ValueError):
+            s.add(P("a", 1.0))
+
+    def test_unknown_queue_rejected(self):
+        s = FarthestPointSampler(dim=1)
+        with pytest.raises(KeyError):
+            s.add(P("a", 1.0), queue="nope")
+
+    def test_invalid_dim_or_k(self):
+        with pytest.raises(ValueError):
+            FarthestPointSampler(dim=0)
+        s = FarthestPointSampler(dim=1)
+        with pytest.raises(ValueError):
+            s.select(0)
+
+    def test_select_consumes(self):
+        s = FarthestPointSampler(dim=1)
+        s.add(P("a", 0.0))
+        s.add(P("b", 10.0))
+        got = s.select(1)
+        assert len(got) == 1
+        assert s.ncandidates() == 1
+        assert s.nselected() == 1
+
+    def test_select_more_than_available(self):
+        s = FarthestPointSampler(dim=1)
+        s.add(P("a", 0.0))
+        got = s.select(5)
+        assert len(got) == 1
+
+
+class TestFarthestPointSemantics:
+    def test_first_selection_is_first_arrival(self):
+        s = FarthestPointSampler(dim=1)
+        for i in range(5):
+            s.add(P(f"p{i}", float(i)))
+        assert s.select(1)[0].id == "p0"  # all inf-novel; FIFO tie-break
+
+    def test_second_selection_is_farthest_from_first(self):
+        s = FarthestPointSampler(dim=1)
+        s.add(P("origin", 0.0))
+        s.add(P("near", 1.0))
+        s.add(P("far", 100.0))
+        first = s.select(1)[0]
+        assert first.id == "origin"
+        second = s.select(1)[0]
+        assert second.id == "far"
+
+    def test_batch_select_updates_between_picks(self):
+        # Points at 0, 10, 9. After picking 0 then 10, the next most
+        # novel is 9 (distance 1) — but a *stale* ranking (distance to
+        # {0} only) would also say 9 before 10. Use a layout where
+        # staleness changes the answer: 0, 10, 6.
+        s = FarthestPointSampler(dim=1)
+        s.add(P("a", 0.0))
+        s.add(P("b", 10.0))
+        s.add(P("c", 6.0))
+        got = s.select(3)
+        # True FPS: a (first), b (dist 10 vs 6), then c.
+        assert [p.id for p in got] == ["a", "b", "c"]
+
+    def test_selected_points_spread_out(self):
+        rng = np.random.default_rng(0)
+        s = FarthestPointSampler(dim=2)
+        # Two tight clusters far apart; FPS must alternate between them.
+        cluster_a = rng.normal(0, 0.1, size=(50, 2))
+        cluster_b = rng.normal(100, 0.1, size=(50, 2))
+        for i, c in enumerate(np.vstack([cluster_a, cluster_b])):
+            s.add(Point(id=f"p{i}", coords=c))
+        got = s.select(4)
+        labels = ["a" if p.coords[0] < 50 else "b" for p in got]
+        assert set(labels) == {"a", "b"}
+        assert labels[0] != labels[1]  # second pick jumps to the other cluster
+
+    def test_seed_selected_biases_away(self):
+        s = FarthestPointSampler(dim=1)
+        s.seed_selected([P("prev", 0.0)])
+        s.add(P("near", 0.5))
+        s.add(P("far", 50.0))
+        assert s.select(1)[0].id == "far"
+
+    def test_seed_selected_dim_check(self):
+        s = FarthestPointSampler(dim=2)
+        with pytest.raises(ValueError):
+            s.seed_selected([P("x", 1.0)])
+
+
+class TestQueues:
+    def test_multiple_queues_round_robin(self):
+        s = FarthestPointSampler(dim=1, queues=["q1", "q2"])
+        s.add(P("a1", 0.0), queue="q1")
+        s.add(P("a2", 1.0), queue="q1")
+        s.add(P("b1", 100.0), queue="q2")
+        got = s.select(2)
+        queues_hit = {p.id[0] for p in got}
+        assert queues_hit == {"a", "b"}  # one from each queue
+
+    def test_explicit_queue_selection(self):
+        s = FarthestPointSampler(dim=1, queues=["q1", "q2"])
+        s.add(P("a", 0.0), queue="q1")
+        s.add(P("b", 1.0), queue="q2")
+        got = s.select(1, queue="q2")
+        assert got[0].id == "b"
+
+    def test_round_robin_skips_empty_queues(self):
+        s = FarthestPointSampler(dim=1, queues=["q1", "q2", "q3"])
+        s.add(P("only", 0.0), queue="q3")
+        assert s.select(1)[0].id == "only"
+
+    def test_queue_cap_enforced(self):
+        s = FarthestPointSampler(dim=1, queue_cap=5)
+        for i in range(20):
+            s.add(P(f"p{i}", float(i)))
+        assert s.ncandidates() == 5
+        assert s.dropped() == 15
+
+    def test_queue_sizes(self):
+        s = FarthestPointSampler(dim=1, queues=["q1", "q2"])
+        s.add(P("a", 0.0), queue="q1")
+        assert s.queue_sizes() == {"q1": 1, "q2": 0}
+
+
+class TestHistory:
+    def test_selection_history_is_replayable(self):
+        s = FarthestPointSampler(dim=1)
+        for i in range(4):
+            s.add(P(f"p{i}", float(i)))
+        s.select(2, now=100.0)
+        s.select(1, now=200.0)
+        rows = s.history_rows()
+        assert len(rows) == 2
+        assert rows[0]["time"] == 100.0
+        assert len(rows[0]["selected"]) == 2
+        # Replay: a fresh sampler fed the same stream makes the same picks.
+        s2 = FarthestPointSampler(dim=1)
+        for i in range(4):
+            s2.add(P(f"p{i}", float(i)))
+        assert [p.id for p in s2.select(2, now=100.0)] == list(rows[0]["selected"])
+
+
+class TestIndexBackends:
+    def test_approximate_backend_plugs_in(self):
+        s = FarthestPointSampler(dim=9, index=ProjectionIndex(ncells=4, nprobe=4))
+        rng = np.random.default_rng(1)
+        for i in range(100):
+            s.add(Point(id=f"p{i}", coords=rng.random(9)))
+        got = s.select(5)
+        assert len(got) == 5
+
+    def test_update_cost_is_tracked(self):
+        s = FarthestPointSampler(dim=2, index=ExactIndex())
+        for i in range(50):
+            s.add(P(f"p{i}", float(i), 0.0))
+        s.select(1)
+        assert s.last_update_seconds > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(coords=st.lists(st.floats(-100, 100), min_size=3, max_size=30, unique=True))
+def test_property_fps_maximizes_min_gap(coords):
+    """After k selections, the chosen set's min pairwise gap is maximal
+    in the greedy sense: each new pick was the farthest candidate."""
+    s = FarthestPointSampler(dim=1)
+    for i, x in enumerate(coords):
+        s.add(P(f"p{i}", x))
+    picks = s.select(3)
+    chosen = [float(p.coords[0]) for p in picks]
+    rest = sorted(set(coords) - set(chosen))
+    if rest:
+        # The third pick was at least as far from {first, second} as any
+        # remaining candidate is.
+        d_third = min(abs(chosen[2] - chosen[0]), abs(chosen[2] - chosen[1]))
+        for x in rest:
+            d_x = min(abs(x - chosen[0]), abs(x - chosen[1]))
+            assert d_third >= d_x - 1e-9

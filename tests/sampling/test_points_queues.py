@@ -1,0 +1,128 @@
+"""Tests for point objects and capped candidate queues."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.points import Point, PointStore
+from repro.sampling.queues import CandidateQueue, QueueFullPolicy
+
+
+def P(pid, *coords):
+    return Point(id=pid, coords=np.array(coords, dtype=float))
+
+
+class TestPoint:
+    def test_coords_are_immutable(self):
+        p = P("a", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            p.coords[0] = 9.0
+
+    def test_dim(self):
+        assert P("a", 1, 2, 3).dim == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Point(id="a", coords=np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Point(id="a", coords=np.zeros((2, 2)))
+
+
+class TestPointStore:
+    def test_add_and_get(self):
+        s = PointStore(dim=2)
+        s.add(P("a", 1, 2))
+        got = s.get("a")
+        np.testing.assert_array_equal(got.coords, [1, 2])
+
+    def test_duplicate_id_rejected(self):
+        s = PointStore(dim=2)
+        s.add(P("a", 1, 2))
+        with pytest.raises(KeyError):
+            s.add(P("a", 3, 4))
+
+    def test_wrong_dim_rejected(self):
+        s = PointStore(dim=2)
+        with pytest.raises(ValueError):
+            s.add(P("a", 1, 2, 3))
+
+    def test_grows_past_capacity(self):
+        s = PointStore(dim=1, capacity=2)
+        for i in range(100):
+            s.add(P(f"p{i}", float(i)))
+        assert len(s) == 100
+        np.testing.assert_array_equal(s.coords_view()[:, 0], np.arange(100.0))
+
+    def test_coords_view_readonly(self):
+        s = PointStore(dim=1)
+        s.add(P("a", 1.0))
+        with pytest.raises(ValueError):
+            s.coords_view()[0, 0] = 5.0
+
+    def test_row_id_mapping(self):
+        s = PointStore(dim=1)
+        s.add(P("a", 1.0))
+        s.add(P("b", 2.0))
+        assert s.row_of("b") == 1
+        assert s.id_at(1) == "b"
+        assert "b" in s and "c" not in s
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            PointStore(dim=0)
+
+
+class TestCandidateQueue:
+    def test_fifo_order(self):
+        q = CandidateQueue("q", cap=10)
+        for i in range(3):
+            q.add(P(f"p{i}", float(i)))
+        assert q.ids() == ["p0", "p1", "p2"]
+
+    def test_duplicate_id_ignored(self):
+        q = CandidateQueue("q")
+        assert q.add(P("a", 1.0))
+        assert not q.add(P("a", 2.0))
+        assert len(q) == 1
+
+    def test_cap_drop_oldest(self):
+        q = CandidateQueue("q", cap=3, policy=QueueFullPolicy.DROP_OLDEST)
+        for i in range(5):
+            q.add(P(f"p{i}", float(i)))
+        assert q.ids() == ["p2", "p3", "p4"]
+        assert q.dropped == 2
+
+    def test_cap_drop_new(self):
+        q = CandidateQueue("q", cap=3, policy=QueueFullPolicy.DROP_NEW)
+        for i in range(5):
+            q.add(P(f"p{i}", float(i)))
+        assert q.ids() == ["p0", "p1", "p2"]
+        assert q.dropped == 2
+
+    def test_pop_specific(self):
+        q = CandidateQueue("q")
+        q.add(P("a", 1.0))
+        q.add(P("b", 2.0))
+        got = q.pop("a")
+        assert got.id == "a"
+        assert q.ids() == ["b"]
+
+    def test_pop_missing_raises(self):
+        q = CandidateQueue("q")
+        with pytest.raises(KeyError):
+            q.pop("nope")
+
+    def test_discard_is_silent(self):
+        q = CandidateQueue("q")
+        q.discard("nope")  # no error
+
+    def test_full_property(self):
+        q = CandidateQueue("q", cap=1)
+        assert not q.full
+        q.add(P("a", 1.0))
+        assert q.full
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            CandidateQueue("q", cap=0)

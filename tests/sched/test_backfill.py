@@ -1,0 +1,83 @@
+"""Tests for the optional backfill policy knob."""
+
+import pytest
+
+from repro.sched.jobspec import JobRecord, JobSpec, JobState
+from repro.sched.matcher import Matcher, MatchPolicy
+from repro.sched.queue import QueueManager
+from repro.sched.resources import summit_like
+
+GPU_JOB = JobSpec(name="cg-sim", ncores=3, ngpus=1, duration=100.0)
+HUGE_JOB = JobSpec(name="huge", nnodes=5, ncores=24)  # blocks on 2 nodes
+
+
+def make_queue(backfill_window=0, nnodes=2):
+    matcher = Matcher(summit_like(nnodes), MatchPolicy.FIRST_MATCH)
+    return QueueManager(matcher, backfill_window=backfill_window)
+
+
+class TestBackfill:
+    def test_default_is_strict_fcfs(self):
+        q = make_queue(backfill_window=0)
+        q.submit(JobRecord(spec=HUGE_JOB))
+        q.submit(JobRecord(spec=GPU_JOB))
+        report = q.cycle(now=0.0, budget=100.0)
+        assert report.started == []
+        assert q.backfilled == 0
+
+    def test_window_lets_small_jobs_jump(self):
+        q = make_queue(backfill_window=4)
+        blocked = JobRecord(spec=HUGE_JOB)
+        small = [JobRecord(spec=GPU_JOB) for _ in range(3)]
+        q.submit(blocked)
+        for rec in small:
+            q.submit(rec)
+        report = q.cycle(now=0.0, budget=100.0)
+        assert len(report.started) == 3
+        assert all(r.state is JobState.RUNNING for r in small)
+        assert blocked.state is JobState.PENDING
+        assert q.backfilled == 3
+
+    def test_head_keeps_queue_position(self):
+        q = make_queue(backfill_window=2)
+        blocked = JobRecord(spec=HUGE_JOB)
+        q.submit(blocked)
+        q.submit(JobRecord(spec=GPU_JOB))
+        q.cycle(now=0.0, budget=100.0)
+        assert q.pending[0] is blocked  # still first in line
+
+    def test_window_bounds_lookahead(self):
+        q = make_queue(backfill_window=1)
+        q.submit(JobRecord(spec=HUGE_JOB))
+        runnable = [JobRecord(spec=GPU_JOB) for _ in range(5)]
+        for rec in runnable:
+            q.submit(rec)
+        report = q.cycle(now=0.0, budget=100.0)
+        assert len(report.started) == 1  # only the first window slot
+
+    def test_blocked_head_eventually_runs(self):
+        # Once resources free, the head goes first again.
+        q = make_queue(backfill_window=4, nnodes=5)
+        # Exclusive: needs all five nodes vacant, so the small job blocks it.
+        blocked = JobRecord(spec=JobSpec(name="huge", nnodes=5, exclusive=True,
+                                         duration=50.0))
+        small = JobRecord(spec=GPU_JOB)
+        q.submit(small)
+        q.cycle(now=0.0, budget=100.0)  # small runs, machine partly busy
+        q.submit(blocked)
+        q.cycle(now=1.0, budget=100.0)  # blocked: node 0 has cores used
+        assert blocked.state is JobState.PENDING
+        q.finish(small, now=2.0)
+        report = q.cycle(now=3.0, budget=100.0)
+        assert blocked in report.started
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            make_queue(backfill_window=-1)
+
+    def test_backfill_does_not_start_infeasible_jobs(self):
+        q = make_queue(backfill_window=3)
+        q.submit(JobRecord(spec=HUGE_JOB))
+        q.submit(JobRecord(spec=HUGE_JOB))
+        report = q.cycle(now=0.0, budget=100.0)
+        assert report.started == []

@@ -1,0 +1,242 @@
+"""Tests for the AA engine, SS analysis, createsim, and backmapping."""
+
+import numpy as np
+import pytest
+
+from repro.sims.aa.analysis import (
+    SecondaryStructureAnalysis,
+    classify_backbone,
+    consensus_pattern,
+)
+from repro.sims.aa.engine import AAConfig, AASim
+from repro.sims.cg.forcefield import martini_like
+from repro.sims.mapping.backmap import backmap
+from repro.sims.mapping.createsim import build_membrane, createsim
+from repro.sims.mapping.systems import AASystem, CGSystem
+
+
+def straight_chain(n, spacing=0.4):
+    return np.stack([np.arange(n) * spacing, np.zeros(n)], axis=1) + 1.0
+
+
+class TestSecondaryStructure:
+    def test_straight_chain_is_extended(self):
+        pos = straight_chain(8)
+        ss = classify_backbone(pos, np.arange(8))
+        assert ss == "E" * 8
+
+    def test_right_angle_turns_are_helix(self):
+        # Square-wave chain: every interior angle is 90 degrees.
+        pts = np.array([[0, 0], [1, 0], [1, 1], [2, 1], [2, 2], [3, 2]], dtype=float) + 3
+        ss = classify_backbone(pts, np.arange(6))
+        assert set(ss) == {"H"}
+
+    def test_short_chains_are_coil(self):
+        assert classify_backbone(np.zeros((2, 2)), np.arange(2)) == "CC"
+        assert classify_backbone(np.zeros((0, 2)), np.arange(0)) == ""
+
+    def test_periodic_wrapping_handled(self):
+        # Chain crossing the periodic boundary stays "straight".
+        box = 10.0
+        xs = (np.arange(8) * 0.4 + 9.0) % box
+        pos = np.stack([xs, np.full(8, 5.0)], axis=1)
+        ss = classify_backbone(pos, np.arange(8), box=box)
+        assert ss == "E" * 8
+
+    def test_consensus_majority(self):
+        assert consensus_pattern(["HHC", "HEC", "HHE"]) == "HHC"
+
+    def test_consensus_validation(self):
+        with pytest.raises(ValueError):
+            consensus_pattern([])
+        with pytest.raises(ValueError):
+            consensus_pattern(["HH", "H"])
+
+    def test_analysis_accumulates(self):
+        an = SecondaryStructureAnalysis(np.arange(6))
+        an.analyze_frame(straight_chain(6))
+        an.analyze_frame(straight_chain(6))
+        assert len(an.patterns) == 2
+        assert an.consensus() == "E" * 6
+        assert an.helicity() == 0.0
+
+
+class TestAASim:
+    def _toy(self, seed=0, restrained=False):
+        pos = straight_chain(6)
+        bonds = np.array([[i, i + 1, 0.4] for i in range(5)], dtype=float)
+        mask = None
+        if restrained:
+            mask = np.ones(6, dtype=bool)
+        return AASim(pos, bonds, np.arange(6), config=AAConfig(seed=seed), restrained=mask)
+
+    def test_minimize_reduces_energy(self):
+        sim = self._toy()
+        sim.positions += np.random.default_rng(0).normal(0, 0.1, sim.positions.shape)
+        _, e0 = sim.forces()
+        e1 = sim.minimize(nsteps=100)
+        assert e1 < e0
+
+    def test_step_advances_time(self):
+        sim = self._toy()
+        sim.step(10)
+        assert sim.time == pytest.approx(10 * sim.config.dt)
+
+    def test_restraints_hold_atoms(self):
+        pinned = self._toy(seed=1, restrained=True)
+        free = self._toy(seed=1, restrained=False)
+        pinned.step(200)
+        free.step(200)
+        drift_pinned = np.linalg.norm(pinned._min_image(pinned.positions - straight_chain(6)), axis=1).mean()
+        drift_free = np.linalg.norm(free._min_image(free.positions - straight_chain(6)), axis=1).mean()
+        assert drift_pinned < drift_free
+
+    def test_release_restraints(self):
+        sim = self._toy(restrained=True)
+        sim.release_restraints()
+        assert not sim.restrained.any()
+
+    def test_checkpoint_roundtrip(self):
+        sim = self._toy(seed=2)
+        sim.step(5)
+        state = sim.state_dict()
+        sim.step(5)
+        after = sim.positions.copy()
+        fresh = self._toy(seed=2)
+        fresh.load_state_dict(state)
+        fresh.step(5)
+        np.testing.assert_array_equal(fresh.positions, after)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AAConfig(dt=0)
+        with pytest.raises(ValueError):
+            AASim(np.zeros((2, 3)), np.empty((0, 3)), np.arange(2))
+
+
+class TestBuildMembrane:
+    def test_counts_per_type(self):
+        rng = np.random.default_rng(0)
+        dens = np.ones((3, 8, 8))
+        pos, types = build_membrane(dens, box=4.0, beads_per_type=50, rng=rng)
+        assert pos.shape == (150, 2)
+        assert np.all(np.bincount(types) == 50)
+
+    def test_positions_follow_density(self):
+        rng = np.random.default_rng(1)
+        dens = np.zeros((1, 8, 8))
+        dens[0, :4, :] = 1.0  # all mass in the left half (x < box/2)
+        pos, _ = build_membrane(dens, box=4.0, beads_per_type=200, rng=rng)
+        assert np.all(pos[:, 0] < 2.0)
+
+    def test_empty_density_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            build_membrane(np.zeros((1, 4, 4)), box=1.0, beads_per_type=10, rng=rng)
+
+    def test_needs_3d(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            build_membrane(np.ones((4, 4)), box=1.0, beads_per_type=10, rng=rng)
+
+
+class TestCreatesim:
+    def _patch_densities(self):
+        rng = np.random.default_rng(4)
+        return 1.0 + 0.2 * rng.random((4, 12, 12))
+
+    def test_produces_runnable_system(self):
+        sys = createsim(self._patch_densities(), box=8.0, with_raf=True,
+                        patch_id="patch-1", beads_per_type=30, seed=0)
+        assert isinstance(sys, CGSystem)
+        assert sys.source_patch == "patch-1"
+        assert sys.nparticles == 4 * 30 + 6
+        assert sys.bonds.shape[0] == 5
+
+    def test_raf_state_controls_protein_composition(self):
+        ff = martini_like(4)
+        with_raf = createsim(self._patch_densities(), box=8.0, with_raf=True,
+                             forcefield=ff, beads_per_type=10, seed=1)
+        without = createsim(self._patch_densities(), box=8.0, with_raf=False,
+                            forcefield=ff, beads_per_type=10, seed=1)
+        raf_id = ff.index_of("RAF")
+        assert np.sum(with_raf.type_ids == raf_id) > 0
+        assert np.sum(without.type_ids == raf_id) == 0
+
+    def test_relaxation_reduces_energy(self):
+        from repro.sims.cg.engine import CGConfig, CGSim
+
+        dens = self._patch_densities()
+        ff = martini_like(4)
+        raw = createsim(dens, box=8.0, with_raf=True, forcefield=ff,
+                        beads_per_type=30, relax_steps=0, seed=2)
+        relaxed = createsim(dens, box=8.0, with_raf=True, forcefield=martini_like(4),
+                            beads_per_type=30, relax_steps=60, seed=2)
+
+        def energy(sys, ff):
+            sim = CGSim(sys.positions, sys.type_ids, ff,
+                        CGConfig(box=8.0, n_lipids=120), bonds=sys.bonds)
+            return sim.forces()[1]
+
+        assert energy(relaxed, martini_like(4)) < energy(raw, ff)
+
+    def test_too_few_ff_types_rejected(self):
+        with pytest.raises(ValueError):
+            createsim(np.ones((8, 4, 4)), box=4.0, with_raf=True,
+                      forcefield=martini_like(2), beads_per_type=5)
+
+    def test_system_bytes_roundtrip(self):
+        sys = createsim(self._patch_densities(), box=8.0, with_raf=True,
+                        patch_id="p9", beads_per_type=10, seed=3)
+        back = CGSystem.from_bytes(sys.to_bytes())
+        np.testing.assert_array_equal(back.positions, sys.positions)
+        assert back.source_patch == "p9"
+        assert back.box == sys.box
+
+
+class TestBackmap:
+    def _cg_system(self, seed=0):
+        dens = 1.0 + np.random.default_rng(seed).random((2, 8, 8))
+        return createsim(dens, box=6.0, with_raf=True, forcefield=martini_like(2),
+                         beads_per_type=15, n_protein_beads=6, seed=seed)
+
+    def test_expansion_counts(self):
+        sys = self._cg_system()
+        aa = backmap(sys, martini_like(2), frame_id="f1", atoms_per_bead=3)
+        assert isinstance(aa, AASystem)
+        assert aa.natoms == sys.nparticles * 3
+        assert aa.source_frame == "f1"
+
+    def test_backbone_follows_protein_beads(self):
+        sys = self._cg_system()
+        aa = backmap(sys, martini_like(2), atoms_per_bead=4)
+        assert aa.backbone.size == 6  # one backbone atom per protein bead
+        assert np.all(aa.backbone % 4 == 0)
+
+    def test_atoms_near_source_beads(self):
+        sys = self._cg_system()
+        aa = backmap(sys, martini_like(2), atoms_per_bead=3, cycles=1)
+        # Each atom should stay within ~ring radius + relaxation drift of
+        # its parent bead.
+        parents = np.repeat(np.arange(sys.nparticles), 3)
+        d = aa.positions - sys.positions[parents]
+        d -= sys.box * np.round(d / sys.box)
+        assert np.linalg.norm(d, axis=1).max() < 1.0
+
+    def test_runnable_by_aa_engine(self):
+        sys = self._cg_system()
+        aa = backmap(sys, martini_like(2))
+        sim = AASim(aa.positions, aa.bonds, aa.backbone, config=AAConfig(box=aa.box))
+        sim.step(5)  # must not blow up
+        assert np.all(np.isfinite(sim.positions))
+
+    def test_bytes_roundtrip(self):
+        sys = self._cg_system()
+        aa = backmap(sys, martini_like(2), frame_id="f7")
+        back = AASystem.from_bytes(aa.to_bytes())
+        np.testing.assert_array_equal(back.backbone, aa.backbone)
+        assert back.source_frame == "f7"
+
+    def test_invalid_atoms_per_bead(self):
+        with pytest.raises(ValueError):
+            backmap(self._cg_system(), martini_like(2), atoms_per_bead=0)

@@ -1,0 +1,170 @@
+"""Tests for the DDFT continuum simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sims.continuum import ContinuumConfig, ContinuumSim, ProteinState, ProteinTable
+from repro.sims.continuum.snapshot import Snapshot
+
+SMALL = ContinuumConfig(grid=16, n_inner=2, n_outer=2, n_proteins=3, dt=0.05, seed=1)
+
+
+class TestProteinTable:
+    def test_random_construction(self):
+        rng = np.random.default_rng(0)
+        t = ProteinTable.random(10, box=1.0, rng=rng, raf_fraction=0.5)
+        assert len(t) == 10
+        assert t.count(ProteinState.RAS) + t.count(ProteinState.RAS_RAF) == 10
+
+    def test_positions_wrapped(self):
+        t = ProteinTable(np.array([[1.5, -0.2]]), np.array([0]), box=1.0)
+        assert np.all(t.positions >= 0) and np.all(t.positions < 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProteinTable(np.zeros((2, 3)), np.zeros(2), box=1.0)
+        with pytest.raises(ValueError):
+            ProteinTable(np.zeros((2, 2)), np.zeros(3), box=1.0)
+        with pytest.raises(ValueError):
+            ProteinTable(np.zeros((2, 2)), np.zeros(2), box=0.0)
+
+    def test_state_transitions_conserve_count(self):
+        rng = np.random.default_rng(1)
+        t = ProteinTable.random(100, 1.0, rng, raf_fraction=0.0, bind_rate=0.5)
+        n_trans = t.step_states(dt=1.0, rng=rng)
+        assert n_trans > 0  # high rate: some must bind
+        assert len(t) == 100
+
+    def test_zero_rate_means_no_transitions(self):
+        rng = np.random.default_rng(2)
+        t = ProteinTable.random(50, 1.0, rng, bind_rate=0.0, unbind_rate=0.0)
+        assert t.step_states(dt=10.0, rng=rng) == 0
+
+    def test_displace_wraps(self):
+        t = ProteinTable(np.array([[0.9, 0.9]]), np.array([0]), box=1.0)
+        t.displace(np.array([[0.2, 0.2]]))
+        np.testing.assert_allclose(t.positions, [[0.1, 0.1]], atol=1e-12)
+
+    def test_copy_is_independent(self):
+        rng = np.random.default_rng(3)
+        t = ProteinTable.random(5, 1.0, rng)
+        c = t.copy()
+        c.positions[0] = [0.5, 0.5]
+        assert not np.array_equal(t.positions[0], c.positions[0]) or np.array_equal(
+            t.positions[0], [0.5, 0.5]
+        )
+
+
+class TestContinuumConfig:
+    def test_defaults_are_stable(self):
+        ContinuumConfig()  # must not raise
+
+    def test_stability_check(self):
+        with pytest.raises(ValueError, match="stability"):
+            ContinuumConfig(grid=64, box=1.0, diffusion=1e-3, dt=10.0)
+
+    def test_grid_minimum(self):
+        with pytest.raises(ValueError):
+            ContinuumConfig(grid=4)
+
+
+class TestContinuumSim:
+    def test_initial_fields_positive(self):
+        sim = ContinuumSim(SMALL)
+        assert np.all(sim.inner > 0) and np.all(sim.outer > 0)
+
+    def test_mass_conservation(self):
+        sim = ContinuumSim(SMALL)
+        m0 = sim.total_mass()
+        sim.step(50)
+        assert sim.total_mass() == pytest.approx(m0, rel=1e-8)
+
+    def test_densities_stay_nonnegative(self):
+        sim = ContinuumSim(SMALL)
+        sim.step(100)
+        assert np.all(sim.inner >= 0) and np.all(sim.outer >= 0)
+
+    def test_time_advances(self):
+        sim = ContinuumSim(SMALL)
+        sim.step(10)
+        assert sim.time_us == pytest.approx(10 * SMALL.dt)
+
+    def test_deterministic_given_seed(self):
+        a = ContinuumSim(SMALL)
+        b = ContinuumSim(SMALL)
+        a.step(20)
+        b.step(20)
+        np.testing.assert_array_equal(a.inner, b.inner)
+        np.testing.assert_array_equal(a.proteins.positions, b.proteins.positions)
+
+    def test_proteins_move(self):
+        sim = ContinuumSim(SMALL)
+        before = sim.proteins.positions.copy()
+        sim.step(20)
+        assert not np.allclose(before, sim.proteins.positions)
+
+    def test_coupling_shapes_lipid_response(self):
+        # Strongly attracted lipid should enrich near proteins relative
+        # to a strongly repelled one.
+        cfg = ContinuumConfig(grid=32, n_inner=2, n_outer=1, n_proteins=4, dt=0.05, seed=3)
+        sim = ContinuumSim(cfg)
+        g = np.zeros((2, 2))
+        g[0] = 5.0  # type 0 attracted to both states
+        g[1] = -5.0  # type 1 repelled
+        sim.update_couplings(g, np.zeros((1, 2)))
+        sim.step(200)
+        kernel = sim._protein_kernel()
+        near = (kernel[0] + kernel[1]) > 0.5
+        if near.any() and (~near).any():
+            enrich0 = sim.inner[0][near].mean() / sim.inner[0][~near].mean()
+            enrich1 = sim.inner[1][near].mean() / sim.inner[1][~near].mean()
+            assert enrich0 > enrich1
+
+    def test_update_couplings_versioned(self):
+        sim = ContinuumSim(SMALL)
+        assert sim.coupling_version == 0
+        sim.update_couplings(np.zeros((2, 2)), np.zeros((2, 2)))
+        assert sim.coupling_version == 1
+
+    def test_update_couplings_shape_checked(self):
+        sim = ContinuumSim(SMALL)
+        with pytest.raises(ValueError):
+            sim.update_couplings(np.zeros((5, 2)), np.zeros((2, 2)))
+
+    def test_run_with_snapshots(self):
+        sim = ContinuumSim(ContinuumConfig(grid=16, n_inner=1, n_outer=1,
+                                           n_proteins=2, dt=0.25, io_interval_us=0.5, seed=0))
+        snaps = sim.run_with_snapshots(total_us=2.0)
+        assert len(snaps) == 5  # initial + 4 intervals
+        times = [s.time_us for s in snaps]
+        np.testing.assert_allclose(np.diff(times), 0.5)
+
+
+class TestSnapshot:
+    def test_roundtrip_through_bytes(self):
+        sim = ContinuumSim(SMALL)
+        sim.step(5)
+        snap = sim.snapshot()
+        back = Snapshot.from_bytes(snap.to_bytes())
+        assert back.time_us == snap.time_us
+        np.testing.assert_array_equal(back.inner, snap.inner)
+        np.testing.assert_array_equal(back.protein_states, snap.protein_states)
+        assert back.box == snap.box
+
+    def test_snapshot_is_a_copy(self):
+        sim = ContinuumSim(SMALL)
+        snap = sim.snapshot()
+        sim.step(10)
+        assert snap.time_us == 0.0
+        assert not np.array_equal(snap.protein_positions, sim.proteins.positions)
+
+    def test_grid_size_and_mass(self):
+        sim = ContinuumSim(SMALL)
+        snap = sim.snapshot()
+        assert snap.grid_size == 16
+        assert snap.total_mass() == pytest.approx(sim.total_mass())
+
+    def test_proteins_accessor(self):
+        sim = ContinuumSim(SMALL)
+        table = sim.snapshot().proteins()
+        assert len(table) == 3

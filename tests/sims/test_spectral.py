@@ -1,0 +1,89 @@
+"""Tests for the spectral continuum solver and FD cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.sims.continuum import ContinuumConfig, ContinuumSim
+
+
+def make(solver, dt, grid=32, seed=4, couple=0.3):
+    cfg = ContinuumConfig(grid=grid, n_inner=2, n_outer=1, n_proteins=3,
+                          dt=dt, solver=solver, seed=seed)
+    sim = ContinuumSim(cfg)
+    # Mild, deterministic couplings shared by both solvers.
+    rng = np.random.default_rng(0)
+    sim.update_couplings(rng.normal(0, couple, (2, 2)), rng.normal(0, couple, (1, 2)))
+    return sim
+
+
+class TestSpectralSolver:
+    def test_solver_validation(self):
+        with pytest.raises(ValueError, match="solver"):
+            ContinuumConfig(solver="magic")
+
+    def test_fd_stability_check_skipped_for_spectral(self):
+        # This dt violates the FD limit but is fine spectrally.
+        cfg = ContinuumConfig(grid=64, dt=1.0, solver="spectral")
+        assert cfg.solver == "spectral"
+        with pytest.raises(ValueError, match="stability"):
+            ContinuumConfig(grid=64, dt=1.0, solver="fd")
+
+    def test_mass_conserved_to_roundoff(self):
+        sim = make("spectral", dt=0.25)
+        m0 = sim.total_mass()
+        sim.step(100)
+        assert sim.total_mass() == pytest.approx(m0, rel=1e-12)
+
+    def test_stable_beyond_fd_limit(self):
+        # dt = 4x the FD stability limit for this grid: spectral stays
+        # bounded; the same dt is rejected outright for FD.
+        dx = 1.0 / 32
+        fd_limit = dx * dx / (4 * 1e-3)
+        sim = make("spectral", dt=4 * fd_limit)
+        sim.step(50)
+        assert np.all(np.isfinite(sim.inner))
+        assert sim.inner.max() < 100.0
+
+    def test_fields_stay_near_positive(self):
+        # No clipping in the spectral path: mild dynamics must not need it.
+        sim = make("spectral", dt=0.25)
+        sim.step(200)
+        assert sim.inner.min() > -1e-2
+
+    def test_matches_fd_on_short_horizon(self):
+        dt = 0.05  # within the FD limit for grid=32
+        fd = make("fd", dt=dt, couple=0.2)
+        sp = make("spectral", dt=dt, couple=0.2)
+        # Same initial state by construction (same seed); evolve fields
+        # only (freeze proteins so the field comparison is clean).
+        fd.proteins.bind_rate = fd.proteins.unbind_rate = 0.0
+        sp.proteins.bind_rate = sp.proteins.unbind_rate = 0.0
+        fd.config = fd.config  # no-op, clarity
+        kernels_fd = fd._protein_kernel()
+        kernels_sp = sp._protein_kernel()
+        np.testing.assert_allclose(kernels_fd[0], kernels_sp[0])
+        for _ in range(20):
+            fd._step_fields(fd.inner, fd.g_inner, kernels_fd)
+            sp._step_fields(sp.inner, sp.g_inner, kernels_sp)
+        # Different discretizations of the same PDE: close, not equal.
+        rel = np.abs(fd.inner - sp.inner) / np.abs(fd.inner).mean()
+        assert rel.max() < 0.05
+
+    def test_full_pipeline_runs_with_spectral_macro(self):
+        """The WM accepts a spectral-solver continuum unchanged."""
+        from repro.app.builder import build_application
+        from repro.core.wm import WorkflowConfig
+
+        app = build_application(
+            workflow=WorkflowConfig(beads_per_type=6, cg_chunks_per_job=1,
+                                    cg_steps_per_chunk=5, seed=0),
+            seed=0,
+        )
+        # Swap the macro for a spectral one of the same shape.
+        app.wm.macro = ContinuumSim(
+            ContinuumConfig(grid=16, n_inner=2, n_outer=2, n_proteins=3,
+                            dt=0.25, solver="spectral", seed=0)
+        )
+        app.cg2cont.continuum = app.wm.macro
+        counters = app.run(nrounds=1)
+        assert counters["patches"] > 0

@@ -1,0 +1,80 @@
+"""Tests for secondary-structure dynamics statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sims.aa.analysis import SecondaryStructureAnalysis
+
+
+def analysis_with(patterns):
+    an = SecondaryStructureAnalysis(np.arange(len(patterns[0])))
+    an.patterns = list(patterns)
+    return an
+
+
+class TestComposition:
+    def test_fractions_sum_to_one(self):
+        an = analysis_with(["HHEC", "HHCC"])
+        comp = an.composition()
+        assert sum(comp.values()) == pytest.approx(1.0)
+        assert comp["H"] == pytest.approx(4 / 8)
+
+    def test_empty(self):
+        an = SecondaryStructureAnalysis(np.arange(4))
+        assert an.composition() == {"H": 0.0, "E": 0.0, "C": 0.0}
+
+
+class TestTransitions:
+    def test_counts_per_residue_pair(self):
+        an = analysis_with(["HH", "HC"])
+        counts = an.transition_counts()
+        assert counts == {("H", "H"): 1, ("H", "C"): 1}
+
+    def test_three_frames_accumulate(self):
+        an = analysis_with(["H", "C", "H"])
+        counts = an.transition_counts()
+        assert counts == {("H", "C"): 1, ("C", "H"): 1}
+
+    def test_inconsistent_lengths_rejected(self):
+        an = analysis_with(["HH", "H"])
+        with pytest.raises(ValueError):
+            an.transition_counts()
+
+    def test_single_frame_no_transitions(self):
+        an = analysis_with(["HHH"])
+        assert an.transition_counts() == {}
+
+
+class TestStability:
+    def test_perfectly_settled(self):
+        an = analysis_with(["HHCC"] * 5)
+        assert an.stability() == 1.0
+
+    def test_fully_churning(self):
+        an = analysis_with(["HH", "CC", "HH"])
+        assert an.stability() == 0.0
+
+    def test_partial(self):
+        an = analysis_with(["HC", "HH"])  # one kept, one flipped
+        assert an.stability() == 0.5
+
+    def test_no_frames_counts_as_settled(self):
+        an = analysis_with(["H"])
+        assert an.stability() == 1.0
+
+    def test_real_trajectory_stabilizes_with_stiff_bonds(self):
+        """A rigid chain's SS churns less than a floppy one."""
+        from repro.sims.cg.engine import CGConfig, CGSim
+        from repro.sims.aa.analysis import classify_backbone
+
+        def churn(ss):
+            sim = CGSim.random_system(config=CGConfig(n_lipids=20, seed=3))
+            sim.apply_feedback(ss)
+            prot = np.nonzero(sim.protein_mask())[0]
+            an = SecondaryStructureAnalysis(prot, box=sim.config.box)
+            for _ in range(15):
+                sim.step(40)
+                an.analyze_frame(sim.positions)
+            return an.stability()
+
+        assert churn("HHHHHH") >= churn("CCCCCC") - 0.05

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.rounds == 3
+        assert args.store == "kv://4"
+
+    def test_campaign_flags(self):
+        args = build_parser().parse_args(["campaign", "--small", "--seed", "5"])
+        assert args.small and args.seed == 5
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "datastore" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "--rounds", "1", "--store", "kv://2"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out
+        assert "cg_finished" in out
+
+    def test_run_from_config(self, tmp_path, capsys):
+        cfg = tmp_path / "app.toml"
+        cfg.write_text(
+            '[application]\nstore_url = "kv://2"\nseed = 1\n'
+            "[workflow]\nbeads_per_type = 6\n"
+        )
+        assert main(["run", "--config", str(cfg), "--rounds", "1"]) == 0
+        assert "snapshots" in capsys.readouterr().out
+
+    def test_campaign_small(self, capsys):
+        assert main(["campaign", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "node-hours" in out
+        assert "GPU occupancy" in out
+
+    def test_campaign_from_config(self, tmp_path, capsys):
+        cfg = tmp_path / "camp.toml"
+        cfg.write_text(
+            "[campaign]\nseed = 2\n"
+            "[[campaign.ledger]]\nnnodes = 10\nwalltime_hours = 2\ncount = 1\n"
+        )
+        assert main(["campaign", "--config", str(cfg)]) == 0
+        assert "20" in capsys.readouterr().out  # 10 nodes * 2h
+
+    def test_persistent(self, capsys):
+        assert main(["persistent", "--node-hours", "200", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster" in out
+        assert "persisted across allocations" in out
+
+    def test_emulate(self, capsys):
+        assert main(["emulate", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "traversal reduction" in out
+
+
+def test_python_dash_m_entrypoint():
+    """The module actually runs as `python -m repro`."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "info"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "MuMMI" in proc.stdout

@@ -1,0 +1,64 @@
+"""The example config files shipped in examples/configs/ must stay valid."""
+
+import os
+
+import pytest
+
+from repro.core.config import (
+    application_kwargs,
+    campaign_config,
+    job_types,
+    load_config_file,
+    workflow_config,
+)
+
+CONFIG_DIR = os.path.join(os.path.dirname(__file__), "..", "examples", "configs")
+
+
+def config_path(name):
+    return os.path.join(CONFIG_DIR, name)
+
+
+class TestLaptopConfig:
+    def test_loads_and_validates(self):
+        doc = load_config_file(config_path("laptop.toml"))
+        kwargs = application_kwargs(doc)
+        assert kwargs["store_url"].startswith("kv://")
+        assert workflow_config(doc).max_cg_sims == 2
+
+    def test_builds_a_runnable_application(self):
+        from repro.app.builder import build_application
+
+        doc = load_config_file(config_path("laptop.toml"))
+        app = build_application(**application_kwargs(doc))
+        counters = app.run(nrounds=1)
+        assert counters["snapshots"] == 1
+
+
+class TestPaperCampaignConfig:
+    def test_ledger_matches_table1(self):
+        doc = load_config_file(config_path("paper_campaign.toml"))
+        cfg = campaign_config(doc)
+        total = sum(r.node_hours for r in cfg.ledger)
+        assert total == 600_600
+        assert cfg.seed == 2021
+
+    def test_job_sections_valid(self):
+        doc = load_config_file(config_path("paper_campaign.toml"))
+        types = job_types(doc)
+        assert set(types) == {"cg-sim", "aa-sim", "createsim", "backmap"}
+        assert types["createsim"].ncores == 24
+        assert types["backmap"].max_retries == 2
+
+    def test_scaled_version_runs(self):
+        """A shrunk copy of the paper ledger actually executes."""
+        from repro.core.campaign import CampaignSimulator, RunSpec
+        import dataclasses
+
+        doc = load_config_file(config_path("paper_campaign.toml"))
+        cfg = campaign_config(doc)
+        small = dataclasses.replace(
+            cfg, ledger=(RunSpec(20, 2, 1),)
+        )
+        result = CampaignSimulator(small).run()
+        assert result.total_node_hours() == 40

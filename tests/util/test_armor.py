@@ -1,0 +1,110 @@
+"""Tests for I/O armoring: retries and backup writes."""
+
+import os
+
+import pytest
+
+from repro.util.armor import (
+    ArmorError,
+    RetryPolicy,
+    armored_call,
+    backup_write,
+    restore_from_backup,
+)
+
+
+class Flaky:
+    """Callable that fails ``n`` times before succeeding."""
+
+    def __init__(self, fails: int, exc=OSError):
+        self.fails = fails
+        self.calls = 0
+        self.exc = exc
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.fails:
+            raise self.exc(f"failure {self.calls}")
+        return "ok"
+
+
+class TestArmoredCall:
+    def test_succeeds_first_try(self):
+        assert armored_call(lambda: 5) == 5
+
+    def test_retries_until_success(self):
+        flaky = Flaky(fails=2)
+        assert armored_call(flaky, policy=RetryPolicy(retries=3)) == "ok"
+        assert flaky.calls == 3
+
+    def test_raises_armor_error_when_exhausted(self):
+        flaky = Flaky(fails=10)
+        with pytest.raises(ArmorError):
+            armored_call(flaky, policy=RetryPolicy(retries=2))
+        assert flaky.calls == 3  # initial + 2 retries
+
+    def test_cause_is_last_exception(self):
+        with pytest.raises(ArmorError) as ei:
+            armored_call(Flaky(fails=10), policy=RetryPolicy(retries=0))
+        assert isinstance(ei.value.__cause__, OSError)
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        flaky = Flaky(fails=5, exc=ValueError)
+        with pytest.raises(ValueError):
+            armored_call(flaky, policy=RetryPolicy(retries=3))
+        assert flaky.calls == 1
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+        flaky = Flaky(fails=2)
+        armored_call(
+            flaky,
+            policy=RetryPolicy(retries=3),
+            on_retry=lambda attempt, exc: seen.append(attempt),
+        )
+        assert seen == [0, 1]
+
+    def test_backoff_delays_grow(self):
+        slept = []
+        flaky = Flaky(fails=3)
+        armored_call(
+            flaky,
+            policy=RetryPolicy(retries=3, delay=1.0, backoff=2.0),
+            sleep=slept.append,
+        )
+        assert slept == [1.0, 2.0, 4.0]
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(delay=-0.5)
+
+    def test_passes_args_and_kwargs(self):
+        assert armored_call(lambda a, b=0: a + b, 2, b=3) == 5
+
+
+class TestBackupWrite:
+    def test_write_and_read(self, tmp_path):
+        p = str(tmp_path / "state.bin")
+        backup_write(p, b"v1")
+        assert restore_from_backup(p) == b"v1"
+
+    def test_previous_version_kept_as_backup(self, tmp_path):
+        p = str(tmp_path / "state.bin")
+        backup_write(p, b"v1")
+        backup_write(p, b"v2")
+        assert restore_from_backup(p) == b"v2"
+        with open(p + ".bak", "rb") as fh:
+            assert fh.read() == b"v1"
+
+    def test_restore_falls_back_to_backup(self, tmp_path):
+        p = str(tmp_path / "state.bin")
+        backup_write(p, b"v1")
+        backup_write(p, b"v2")
+        os.remove(p)  # simulate filesystem failure eating the primary
+        assert restore_from_backup(p) == b"v1"
+
+    def test_restore_raises_when_nothing_exists(self, tmp_path):
+        with pytest.raises(ArmorError):
+            restore_from_backup(str(tmp_path / "missing.bin"))

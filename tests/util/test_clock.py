@@ -1,0 +1,140 @@
+"""Tests for the virtual clock and discrete-event loop."""
+
+import pytest
+
+from repro.util.clock import ClockError, Event, EventLoop, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.5).now == 5.5
+
+    def test_advance_moves_forward(self):
+        c = VirtualClock()
+        assert c.advance(2.0) == 2.0
+        assert c.advance(3.0) == 5.0
+        assert c.now == 5.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-1.0)
+
+    def test_advance_to_absolute(self):
+        c = VirtualClock(1.0)
+        c.advance_to(10.0)
+        assert c.now == 10.0
+
+    def test_advance_to_rejects_backwards(self):
+        c = VirtualClock(10.0)
+        with pytest.raises(ClockError):
+            c.advance_to(9.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        c = VirtualClock(10.0)
+        c.advance_to(10.0)
+        assert c.now == 10.0
+
+
+class TestEventLoop:
+    def test_step_runs_callback_and_advances_clock(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_at(3.0, hits.append, "a")
+        ev = loop.step()
+        assert isinstance(ev, Event)
+        assert hits == ["a"]
+        assert loop.now == 3.0
+
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule_at(5.0, order.append, 5)
+        loop.schedule_at(1.0, order.append, 1)
+        loop.schedule_at(3.0, order.append, 3)
+        loop.run()
+        assert order == [1, 3, 5]
+
+    def test_same_time_events_run_in_insertion_order(self):
+        loop = EventLoop()
+        order = []
+        for i in range(10):
+            loop.schedule_at(1.0, order.append, i)
+        loop.run()
+        assert order == list(range(10))
+
+    def test_schedule_in_is_relative(self):
+        loop = EventLoop(VirtualClock(100.0))
+        loop.schedule_in(5.0, lambda: None)
+        assert loop.peek_time() == 105.0
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop(VirtualClock(10.0))
+        with pytest.raises(ClockError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_cancelled_events_are_skipped(self):
+        loop = EventLoop()
+        hits = []
+        ev = loop.schedule_at(1.0, hits.append, "x")
+        loop.schedule_at(2.0, hits.append, "y")
+        ev.cancel()
+        loop.run()
+        assert hits == ["y"]
+
+    def test_run_until_stops_at_boundary(self):
+        loop = EventLoop()
+        hits = []
+        loop.schedule_at(1.0, hits.append, 1)
+        loop.schedule_at(2.0, hits.append, 2)
+        loop.schedule_at(3.0, hits.append, 3)
+        n = loop.run_until(2.0)
+        assert n == 2
+        assert hits == [1, 2]
+        assert loop.now == 2.0  # clock advanced even past last event
+
+    def test_run_until_advances_clock_with_no_events(self):
+        loop = EventLoop()
+        loop.run_until(50.0)
+        assert loop.now == 50.0
+
+    def test_callbacks_can_schedule_more_events(self):
+        loop = EventLoop()
+        hits = []
+
+        def recurring(n):
+            hits.append(n)
+            if n < 3:
+                loop.schedule_in(1.0, recurring, n + 1)
+
+        loop.schedule_at(0.0, recurring, 0)
+        loop.run()
+        assert hits == [0, 1, 2, 3]
+        assert loop.now == 3.0
+
+    def test_len_counts_live_events(self):
+        loop = EventLoop()
+        e1 = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        assert len(loop) == 2
+        e1.cancel()
+        assert len(loop) == 1
+
+    def test_run_max_events_backstop(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(1.0, forever)
+
+        loop.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeError):
+            loop.run(max_events=10)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for i in range(4):
+            loop.schedule_at(float(i), lambda: None)
+        loop.run()
+        assert loop.processed == 4

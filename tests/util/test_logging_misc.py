@@ -1,0 +1,27 @@
+"""Tests for the logging helper and miscellaneous util edges."""
+
+import logging
+
+from repro.util.logging import get_logger
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        logger = get_logger("sched")
+        assert logger.name == "repro.sched"
+
+    def test_existing_repro_prefix_kept(self):
+        logger = get_logger("repro.core.wm")
+        assert logger.name == "repro.core.wm"
+
+    def test_handler_attached_once(self):
+        get_logger("a")
+        get_logger("b")
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+
+    def test_messages_propagate_to_root_handler(self, caplog):
+        logger = get_logger("test-module")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            logger.warning("something odd")
+        assert "something odd" in caplog.text

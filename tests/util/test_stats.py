@@ -1,0 +1,129 @@
+"""Tests for summary statistics and the streaming histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Histogram,
+    Summary,
+    fraction_at_least,
+    percentile_of,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_values(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_accepts_numpy_array(self):
+        s = summarize(np.arange(10, dtype=float))
+        assert s.n == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row_roundtrip(self):
+        row = summarize([1.0, 2.0]).as_row()
+        assert row["n"] == 2 and row["mean"] == 1.5
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_invariants(self, xs):
+        s = summarize(xs)
+        tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - tol <= s.p25 <= s.median <= s.p75 <= s.maximum + tol
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+        assert s.std >= 0
+
+
+class TestPercentiles:
+    def test_percentile_of(self):
+        assert percentile_of([1, 2, 3, 4], 2) == 50.0
+
+    def test_fraction_at_least(self):
+        assert fraction_at_least([0.1, 0.99, 1.0, 0.98], 0.98) == 0.75
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_of([], 1.0)
+        with pytest.raises(ValueError):
+            fraction_at_least([], 1.0)
+
+
+class TestHistogram:
+    def test_linear_constructor(self):
+        h = Histogram.linear(0, 10, 5)
+        assert h.counts.size == 5
+        np.testing.assert_allclose(h.edges, [0, 2, 4, 6, 8, 10])
+
+    def test_add_counts_bins(self):
+        h = Histogram.linear(0, 10, 2)
+        h.add([1, 2, 6, 7, 8])
+        assert list(h.counts) == [2, 3]
+
+    def test_under_and_overflow(self):
+        h = Histogram.linear(0, 10, 2)
+        h.add([-1, 11, 5])
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.total == 3
+
+    def test_streaming_equals_batch(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5, 2, size=1000)
+        h1 = Histogram.linear(0, 10, 20)
+        h2 = Histogram.linear(0, 10, 20)
+        h1.add(data)
+        for chunk in np.array_split(data, 7):
+            h2.add(chunk)
+        np.testing.assert_array_equal(h1.counts, h2.counts)
+        assert h1.underflow == h2.underflow and h1.overflow == h2.overflow
+
+    def test_scalar_add(self):
+        h = Histogram.linear(0, 1, 1)
+        h.add(0.5)
+        assert h.total == 1
+
+    def test_empty_add_is_noop(self):
+        h = Histogram.linear(0, 1, 1)
+        h.add([])
+        assert h.total == 0
+
+    def test_normalized_sums_to_one(self):
+        h = Histogram.linear(0, 10, 4)
+        h.add([1, 3, 5, 7, 9])
+        assert h.normalized().sum() == pytest.approx(1.0)
+
+    def test_mode_bin(self):
+        h = Histogram.linear(0, 3, 3)
+        h.add([0.5, 1.5, 1.6, 2.5])
+        center, count = h.mode_bin()
+        assert center == pytest.approx(1.5)
+        assert count == 2
+
+    def test_invalid_edges_raise(self):
+        with pytest.raises(ValueError):
+            Histogram([1.0])
+        with pytest.raises(ValueError):
+            Histogram([0.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram.linear(0, 1, 0)
+
+    def test_as_series_rows(self):
+        h = Histogram.linear(0, 2, 2)
+        h.add([0.5, 1.5, 1.7])
+        assert h.as_series() == [(0.0, 1.0, 1), (1.0, 2.0, 2)]
+
+    @given(st.lists(st.floats(0, 100), max_size=500))
+    def test_total_matches_input_size(self, xs):
+        h = Histogram.linear(0, 100, 10)
+        h.add(xs)
+        assert h.total == len(xs)
