@@ -37,6 +37,7 @@ import numpy as np
 from repro.core.campaign import CampaignConfig, RunSpec
 from repro.core.jobs import JobTypeConfig
 from repro.core.wm import WorkflowConfig
+from repro.datastore.netkv import TransportConfig
 
 __all__ = [
     "ConfigError",
@@ -44,6 +45,7 @@ __all__ = [
     "dataclass_from_mapping",
     "workflow_config",
     "campaign_config",
+    "transport_config",
     "application_kwargs",
     "job_types",
 ]
@@ -106,6 +108,20 @@ def dataclass_from_mapping(cls: Type[T], data: Mapping[str, Any], where: str = "
 def workflow_config(doc: Mapping[str, Any]) -> WorkflowConfig:
     """The ``[workflow]`` section (or {}) as a WorkflowConfig."""
     return dataclass_from_mapping(WorkflowConfig, doc.get("workflow", {}), "[workflow]")
+
+
+def transport_config(doc: Mapping[str, Any]) -> TransportConfig:
+    """The ``[transport]`` section (or {}) as a TransportConfig.
+
+    The retry/timeout budget of every networked store client::
+
+        [transport]
+        op_timeout = 2.0
+        retries = 6
+        backoff_max = 0.5
+    """
+    return dataclass_from_mapping(TransportConfig, doc.get("transport", {}),
+                                  "[transport]")
 
 
 def campaign_config(doc: Mapping[str, Any]) -> CampaignConfig:

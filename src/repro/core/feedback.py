@@ -23,7 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.datastore.base import DataStore
+from repro.datastore.base import DataStore, StoreUnavailable
 
 __all__ = ["FeedbackReport", "FeedbackManager", "StoreFeedbackMixin"]
 
@@ -37,6 +37,9 @@ class FeedbackReport:
     collect_seconds: float
     process_seconds: float
     tag_seconds: float
+    # Non-empty when the store was unreachable and the iteration was
+    # skipped; untagged items are simply re-collected next time.
+    error: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -71,25 +74,43 @@ class FeedbackManager(abc.ABC):
     # --- the iteration driver --------------------------------------------------
 
     def run_iteration(self, now: float = 0.0) -> FeedbackReport:
-        """One full feedback iteration, with per-phase timing."""
+        """One full feedback iteration, with per-phase timing.
+
+        A store outage (:class:`StoreUnavailable`) does not kill the
+        workflow loop: the iteration is recorded as skipped (``error``
+        set, zero items) and the untagged frames are picked up again
+        once the store recovers. Tagging is the last phase precisely so
+        that an interrupted iteration re-processes rather than loses
+        frames (at-least-once feedback).
+        """
         t0 = time.perf_counter()
-        items = self.collect()
-        t1 = time.perf_counter()
-        result = self.process(items) if items else None
-        if result is not None:
-            self.report(result)
-        t2 = time.perf_counter()
-        self.tag([k for k, _ in items])
-        t3 = time.perf_counter()
-        rep = FeedbackReport(
-            time=now,
-            n_items=len(items),
-            collect_seconds=t1 - t0,
-            process_seconds=t2 - t1,
-            tag_seconds=t3 - t2,
-        )
+        try:
+            items = self.collect()
+            t1 = time.perf_counter()
+            result = self.process(items) if items else None
+            if result is not None:
+                self.report(result)
+            t2 = time.perf_counter()
+            self.tag([k for k, _ in items])
+            t3 = time.perf_counter()
+            rep = FeedbackReport(
+                time=now,
+                n_items=len(items),
+                collect_seconds=t1 - t0,
+                process_seconds=t2 - t1,
+                tag_seconds=t3 - t2,
+            )
+        except StoreUnavailable as exc:
+            rep = FeedbackReport(
+                time=now,
+                n_items=0,
+                collect_seconds=time.perf_counter() - t0,
+                process_seconds=0.0,
+                tag_seconds=0.0,
+                error=str(exc),
+            )
         self.reports.append(rep)
-        self.total_items += len(items)
+        self.total_items += rep.n_items
         return rep
 
 

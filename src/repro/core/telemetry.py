@@ -29,6 +29,9 @@ class TelemetryReport:
     store_io: Dict[str, int]
     feedback: List[Dict[str, Any]]
     selectors: Dict[str, Any]
+    # Wire-level counters (retries, timeouts, reconnects, latency) when
+    # the store is networked; empty for in-process backends.
+    transport: Dict[str, Any] = field(default_factory=dict)
 
     def data_written(self) -> int:
         return self.store_io["bytes_written"]
@@ -72,6 +75,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         "frame_candidates": wm.frame_selector.ncandidates(),
         "frame_bin_coverage": wm.frame_selector.coverage(),
     }
+    tstats = getattr(wm.store, "transport_stats", None)
     return TelemetryReport(
         rounds=wm.rounds,
         counters=dict(wm.counters),
@@ -80,6 +84,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         store_io=wm.store.stats.as_dict(),
         feedback=feedback,
         selectors=selectors,
+        transport=tstats.as_dict() if tstats is not None else {},
     )
 
 
@@ -101,6 +106,15 @@ def render_report(report: TelemetryReport) -> str:
         f"{units.format_bytes(io['bytes_read'])} read in "
         f"{io['writes'] + io['reads']} ops"
     )
+    if report.transport:
+        tr = report.transport
+        lat = tr["latency"]
+        lines.append(
+            f"  transport: {tr['requests']} requests, {tr['retries']} retries "
+            f"({tr['timeouts']} timeouts), {tr['reconnects']} reconnects, "
+            f"{tr['exhausted']} exhausted; "
+            f"latency p50<={lat['p50_ms']:.2f} ms p99<={lat['p99_ms']:.2f} ms"
+        )
     for row in report.feedback:
         lines.append(
             f"  feedback {row['manager']}: {row['iterations']} iterations, "

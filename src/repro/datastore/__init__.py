@@ -17,18 +17,24 @@ effortlessly to a file, an archive, or a database — all with a single
 configuration switch": that switch is :func:`open_store`.
 """
 
-from repro.datastore.base import DataStore, StoreError, KeyNotFound, open_store
+from repro.datastore.base import (
+    DataStore, StoreError, StoreUnavailable, KeyNotFound, open_store,
+)
 from repro.datastore.fsstore import FSStore, FaultInjector
 from repro.datastore.taridx import IndexedTar, TaridxStore, recover_index
 from repro.datastore.kvstore import KVServer, KVCluster, KVStore, LatencyModel
-from repro.datastore.netkv import NetKVServer, NetKVClient, NetKVCluster, NetKVStore
+from repro.datastore.netkv import (
+    NetKVServer, NetKVClient, NetKVCluster, NetKVStore, TransportConfig,
+    WireProtocolError,
+)
 from repro.datastore.tiered import TieredStore
-from repro.datastore.stats import IOStats
+from repro.datastore.stats import IOStats, TransportStats
 from repro.datastore import serial
 
 __all__ = [
     "DataStore",
     "StoreError",
+    "StoreUnavailable",
     "KeyNotFound",
     "open_store",
     "FSStore",
@@ -44,6 +50,9 @@ __all__ = [
     "NetKVClient",
     "NetKVCluster",
     "NetKVStore",
+    "TransportConfig",
+    "TransportStats",
+    "WireProtocolError",
     "TieredStore",
     "IOStats",
     "serial",

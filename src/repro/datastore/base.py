@@ -18,11 +18,24 @@ import numpy as np
 from repro.datastore import serial
 from repro.datastore.stats import IOStats
 
-__all__ = ["DataStore", "StoreError", "KeyNotFound", "open_store", "validate_key"]
+__all__ = [
+    "DataStore", "StoreError", "StoreUnavailable", "KeyNotFound",
+    "open_store", "validate_key",
+]
 
 
 class StoreError(RuntimeError):
     """Base error for data-interface failures."""
+
+
+class StoreUnavailable(StoreError):
+    """The store could not be reached within its retry budget.
+
+    Raised by networked backends once timeouts, reconnects, and backoff
+    are exhausted. Distinct from plain :class:`StoreError` so callers
+    (feedback managers, tiered stores) can degrade gracefully on an
+    outage while still treating protocol/application errors as bugs.
+    """
 
 
 class KeyNotFound(StoreError, KeyError):
@@ -176,6 +189,7 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
         fs://<directory>          filesystem backend
         taridx://<directory>      indexed-tar archive backend
         kv://[nservers]           in-memory KV cluster (default 1 server)
+        netkv://host:port[,...]   networked KV cluster (live servers)
 
     Extra keyword arguments are forwarded to the backend constructor.
     """
@@ -193,4 +207,16 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
     if scheme == "kv":
         nservers = int(rest) if rest else 1
         return KVStore(KVCluster(nservers=nservers), **kwargs)
+    if scheme == "netkv":
+        from repro.datastore.netkv import NetKVStore
+
+        addresses = []
+        for part in filter(None, (p.strip() for p in rest.split(","))):
+            host, sep2, port = part.rpartition(":")
+            if not sep2 or not port.isdigit():
+                raise StoreError(f"netkv address must be host:port, got {part!r}")
+            addresses.append((host, int(port)))
+        if not addresses:
+            raise StoreError(f"netkv URL needs at least one host:port: {url!r}")
+        return NetKVStore.connect(addresses, **kwargs)
     raise StoreError(f"unknown store scheme {scheme!r} in {url!r}")

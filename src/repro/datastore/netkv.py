@@ -13,37 +13,149 @@ Protocol (text header + raw payload, one request per round trip)::
 Commands: PING, SET key, GET key, DEL key, KEYS prefix, RENAME src dst,
 LEN, FLUSH, SHUTDOWN. A :class:`NetKVCluster` client routes keys over
 several servers with the same hash-slot rule as the in-process cluster.
+
+Transport resilience (§5.1 / §6 — the in-memory store is the campaign's
+availability bottleneck):
+
+- every client operation runs under a per-operation socket timeout and
+  a capped exponential-backoff retry loop (:class:`TransportConfig`);
+  a dead or flapping server surfaces as
+  :class:`~repro.datastore.base.StoreUnavailable` instead of a hang;
+- reads are buffered (:class:`_RecvBuffer`) on both sides instead of
+  one ``recv()`` per header byte — see
+  ``benchmarks/test_ext_netkv_transport.py`` for the measured win;
+- the server validates frames defensively (length fields, header size,
+  key charset) and *closes* a connection it can no longer trust rather
+  than desyncing on the next request;
+- a :class:`~repro.util.faults.NetworkFaultInjector` can be plugged
+  into the server to rehearse drops, delays, half-closes, and garbage;
+- every retry/timeout/reconnect and round-trip latency lands in a
+  shared :class:`~repro.datastore.stats.TransportStats` that
+  :func:`repro.core.telemetry.collect_telemetry` reports.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import socketserver
 import threading
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.datastore.base import DataStore, KeyNotFound, StoreError, validate_key
+import numpy as np
+
+from repro.datastore.base import (
+    DataStore,
+    KeyNotFound,
+    StoreError,
+    StoreUnavailable,
+    validate_key,
+)
 from repro.datastore.kvstore import KVServer, key_slot
+from repro.datastore.stats import TransportStats
+from repro.util.faults import NetworkFaultInjector
 
-__all__ = ["NetKVServer", "NetKVClient", "NetKVCluster", "NetKVStore"]
+__all__ = [
+    "TransportConfig",
+    "WireProtocolError",
+    "NetKVServer",
+    "NetKVClient",
+    "NetKVCluster",
+    "NetKVStore",
+]
 
 _MAX_HEADER = 4096
+_RECV_CHUNK = 65536
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining > 0:
-        chunk = sock.recv(min(remaining, 65536))
+class WireProtocolError(StoreError):
+    """A frame violated the wire protocol (bad length, oversized header,
+    forbidden key bytes). The connection that produced it is untrusted:
+    the peer closes it instead of guessing where the next frame starts."""
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Client-side transport knobs (the ``[transport]`` config section).
+
+    ``op_timeout`` bounds every socket send/recv; ``retries`` is how
+    many times a failed operation is re-attempted on a fresh connection
+    before :class:`StoreUnavailable`; the backoff between attempts is
+    ``min(backoff_max, backoff_base * 2**attempt)`` scaled by a uniform
+    jitter factor in ``[1 - jitter, 1 + jitter]`` so a thousand clients
+    recovering from one server blip don't reconnect in lockstep.
+    """
+
+    op_timeout: float = 5.0
+    connect_timeout: float = 2.0
+    retries: int = 4
+    backoff_base: float = 0.02
+    backoff_max: float = 1.0
+    jitter: float = 0.5
+    max_payload: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.op_timeout <= 0 or self.connect_timeout <= 0:
+            raise ValueError("timeouts must be > 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_max")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_payload < 1:
+            raise ValueError("max_payload must be >= 1")
+
+
+class _RecvBuffer:
+    """Buffered reads over a socket: one ``recv()`` per chunk, not per byte.
+
+    EOF raises :class:`ConnectionError` (retryable transport failure);
+    an oversized header raises :class:`WireProtocolError` (the stream
+    can no longer be framed).
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+
+    def _fill(self) -> None:
+        chunk = self._sock.recv(_RECV_CHUNK)
         if not chunk:
-            raise StoreError("connection closed mid-payload")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+            raise ConnectionError("connection closed mid-frame")
+        self._buf.extend(chunk)
+
+    def recv_line(self, limit: int = _MAX_HEADER) -> bytes:
+        """Read up to and including a newline; return it without the newline."""
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx != -1:
+                if idx > limit:
+                    raise WireProtocolError(f"header exceeds {limit} bytes")
+                line = bytes(self._buf[:idx])
+                del self._buf[: idx + 1]
+                return line
+            if len(self._buf) > limit:
+                raise WireProtocolError(f"header exceeds {limit} bytes")
+            self._fill()
+
+    def recv_exact(self, n: int) -> bytes:
+        while len(self._buf) < n:
+            self._fill()
+        data = bytes(self._buf[:n])
+        del self._buf[:n]
+        return data
 
 
-def _recv_line(sock: socket.socket) -> bytes:
-    """Read up to and including a newline, byte by byte (headers are tiny)."""
+def _recv_line_unbuffered(sock: socket.socket) -> bytes:
+    """The pre-hardening byte-at-a-time header read.
+
+    Kept only as the baseline for the buffered-reader micro-benchmark
+    (``benchmarks/test_ext_netkv_transport.py``); production paths use
+    :class:`_RecvBuffer`.
+    """
     buf = bytearray()
     while len(buf) < _MAX_HEADER:
         b = sock.recv(1)
@@ -55,41 +167,133 @@ def _recv_line(sock: socket.socket) -> bytes:
     raise StoreError("header too long")
 
 
+def _recv_exact_unbuffered(sock: socket.socket, n: int) -> bytes:
+    """The pre-hardening payload read (benchmark baseline, see above)."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, _RECV_CHUNK))
+        if not chunk:
+            raise StoreError("connection closed mid-payload")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _check_wire_key(key: str) -> str:
+    """Reject keys the text protocol cannot carry unambiguously.
+
+    The header is whitespace-split, so keys with spaces would silently
+    truncate; NUL would corrupt the KEYS separator; newlines would
+    desync framing. Checked on both ends — at the client before bytes
+    leave, and at the server against hand-rolled peers.
+    """
+    if not key:
+        raise WireProtocolError("empty key")
+    if any(c in key for c in (" ", "\t", "\n", "\r", "\x00")):
+        raise WireProtocolError(f"key contains bytes the wire protocol reserves: {key!r}")
+    return key
+
+
 class _Handler(socketserver.BaseRequestHandler):
     """One request-response exchange per connection round trip.
 
     Connections are persistent: the handler loops until the client
-    disconnects or sends SHUTDOWN.
+    disconnects, sends SHUTDOWN, or violates the protocol. A violated
+    connection gets one ERR frame and is closed — after a malformed
+    SET header the payload boundary is unknowable, and continuing would
+    parse payload bytes as the next header (the desync bug).
     """
 
     def handle(self) -> None:  # noqa: C901 - a protocol switch is a switch
         server: "NetKVServer" = self.server.owner  # type: ignore[attr-defined]
         sock = self.request
+        injector = server.fault_injector
+        if injector is not None and injector.connection_fate() == "drop":
+            return  # close before reading anything
+        server._register(sock)
+        try:
+            self._serve(server, sock, injector)
+        finally:
+            server._unregister(sock)
+
+    def _serve(self, server: "NetKVServer", sock: socket.socket,
+               injector: Optional[NetworkFaultInjector]) -> None:
+        buf = _RecvBuffer(sock)
         while True:
             try:
-                header = _recv_line(sock)
-            except StoreError:
+                header = buf.recv_line()
+            except (ConnectionError, OSError):
                 return  # client went away
+            except WireProtocolError as exc:
+                self._send_err(sock, str(exc))
+                return
             if not header:
-                continue
-            parts = header.decode("utf-8").split()
+                # A blank line cannot start a request; before the fix this
+                # `continue`d and spun forever on a client sending "\n"s.
+                self._send_err(sock, "empty header")
+                return
+            if injector is not None:
+                fate = injector.request_fate()
+                if fate == "delay":
+                    time.sleep(injector.delay_seconds)
+                elif fate == "close":
+                    return
+                elif fate == "garbage":
+                    try:
+                        sock.sendall(injector.garbage_bytes)
+                    except OSError:
+                        pass
+                    return
+            try:
+                parts = header.decode("utf-8").split()
+            except UnicodeDecodeError:
+                self._send_err(sock, "header is not UTF-8")
+                return
             cmd, args = parts[0].upper(), parts[1:]
             try:
                 payload = b""
-                if cmd in ("SET",) and args:
-                    payload = _recv_exact(sock, int(args[-1]))
-                    args = args[:-1]
+                if cmd == "SET":
+                    payload, args = self._read_set_payload(buf, args, server)
                 response = self._dispatch(server, cmd, args, payload)
             except KeyNotFound:
                 sock.sendall(b"NF\n")
                 continue
-            except Exception as exc:  # protocol errors become ERR frames
+            except WireProtocolError as exc:
+                # Framing is broken (bad length field, oversized payload):
+                # the bytes that follow cannot be trusted as a header.
+                self._send_err(sock, str(exc))
+                return
+            except (ConnectionError, OSError):
+                return
+            except Exception as exc:  # application errors become ERR frames
                 msg = str(exc).replace("\n", " ")[:500]
                 sock.sendall(f"ERR {msg}\n".encode("utf-8"))
                 continue
             if response is None:
                 return  # SHUTDOWN
             sock.sendall(f"OK {len(response)}\n".encode("utf-8") + response)
+
+    @staticmethod
+    def _send_err(sock: socket.socket, msg: str) -> None:
+        try:
+            sock.sendall(f"ERR {msg}\n".encode("utf-8", "replace"))
+        except OSError:
+            pass
+
+    @staticmethod
+    def _read_set_payload(buf: _RecvBuffer, args: List[str],
+                          server: "NetKVServer") -> Tuple[bytes, List[str]]:
+        """Parse and read a SET payload, or raise :class:`WireProtocolError`."""
+        if len(args) < 2:
+            raise WireProtocolError("SET needs a key and a payload length")
+        try:
+            length = int(args[-1])
+        except ValueError:
+            raise WireProtocolError(f"SET length is not an integer: {args[-1]!r}") from None
+        if length < 0 or length > server.max_payload:
+            raise WireProtocolError(f"SET length out of range: {length}")
+        return buf.recv_exact(length), args[:-1]
 
     @staticmethod
     def _dispatch(server: "NetKVServer", cmd: str, args: List[str],
@@ -99,7 +303,7 @@ class _Handler(socketserver.BaseRequestHandler):
             if cmd == "PING":
                 return b"PONG"
             if cmd == "SET":
-                store.set(args[0], payload)
+                store.set(_check_wire_key(args[0]), payload)
                 return b""
             if cmd == "GET":
                 return store.get(args[0])
@@ -110,7 +314,7 @@ class _Handler(socketserver.BaseRequestHandler):
                 prefix = args[0] if args else ""
                 return "\x00".join(sorted(store.scan(prefix))).encode("utf-8")
             if cmd == "RENAME":
-                store.rename(args[0], args[1])
+                store.rename(args[0], _check_wire_key(args[1]))
                 return b""
             if cmd == "LEN":
                 return str(len(store)).encode("utf-8")
@@ -123,17 +327,41 @@ class _Handler(socketserver.BaseRequestHandler):
             raise StoreError(f"unknown command {cmd!r}")
 
 
-class NetKVServer:
-    """One networked shard wrapping an in-memory :class:`KVServer`."""
+class _TCPServer(socketserver.ThreadingTCPServer):
+    # Restarting a shard on its old port must not fail on TIME_WAIT —
+    # the resilience tests stop and revive servers at the same address.
+    allow_reuse_address = True
+    daemon_threads = True
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+
+class NetKVServer:
+    """One networked shard wrapping an in-memory :class:`KVServer`.
+
+    ``fault_injector`` plugs a
+    :class:`~repro.util.faults.NetworkFaultInjector` into the accept
+    and request paths for degraded-network testing.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 fault_injector: Optional[NetworkFaultInjector] = None,
+                 max_payload: int = 256 * 1024 * 1024) -> None:
         self.backend = KVServer()
         self.lock = threading.Lock()
-        self._tcp = socketserver.ThreadingTCPServer((host, port), _Handler,
-                                                    bind_and_activate=True)
-        self._tcp.daemon_threads = True
+        self.fault_injector = fault_injector
+        self.max_payload = max_payload
+        self._tcp = _TCPServer((host, port), _Handler, bind_and_activate=True)
         self._tcp.owner = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._conns: set = set()
+        self._conn_lock = threading.Lock()
+
+    def _register(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._conns.add(sock)
+
+    def _unregister(self, sock: socket.socket) -> None:
+        with self._conn_lock:
+            self._conns.discard(sock)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -145,8 +373,26 @@ class NetKVServer:
         return self
 
     def stop(self) -> None:
+        """Stop listening AND sever live connections.
+
+        Without the second step, handler threads on established
+        connections would keep serving a "stopped" shard — a zombie the
+        restart/resilience semantics (and tests) cannot tolerate.
+        """
         self._tcp.shutdown()
         self._tcp.server_close()
+        with self._conn_lock:
+            conns = list(self._conns)
+            self._conns.clear()
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "NetKVServer":
         return self.start()
@@ -156,32 +402,137 @@ class NetKVServer:
 
 
 class NetKVClient:
-    """A persistent connection to one shard."""
+    """A connection to one shard with timeouts, reconnect, and retries.
 
-    def __init__(self, address: Tuple[str, int], timeout: float = 10.0) -> None:
+    The connection is opened lazily and re-opened transparently: any
+    timeout, connection failure, or malformed response closes the
+    socket, waits out a jittered backoff, and re-attempts on a fresh
+    connection until the retry budget is spent, at which point
+    :class:`StoreUnavailable` is raised. Application-level outcomes
+    (``NF`` → :class:`KeyNotFound`, ``ERR`` → :class:`StoreError`) are
+    never retried.
+
+    Retries make every operation at-least-once: SET/GET/RENAME are
+    idempotent, but a DEL whose response was lost can raise
+    :class:`KeyNotFound` on the re-attempt even though the key was
+    removed (see DESIGN.md, "Transport failure semantics").
+    """
+
+    def __init__(self, address: Tuple[str, int], timeout: Optional[float] = None,
+                 config: Optional[TransportConfig] = None,
+                 stats: Optional[TransportStats] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.address = address
-        self._sock = socket.create_connection(address, timeout=timeout)
+        cfg = config or TransportConfig()
+        if timeout is not None:  # back-compat with the old timeout-only ctor
+            cfg = dataclasses.replace(cfg, op_timeout=float(timeout))
+        self.config = cfg
+        self.stats = stats if stats is not None else TransportStats()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._sleep = time.sleep  # swappable in tests
+        self._sock: Optional[socket.socket] = None
+        self._buf: Optional[_RecvBuffer] = None
+        self._ever_connected = False
+
+    # --- connection management -------------------------------------------
+
+    def _ensure_connected(self) -> _RecvBuffer:
+        if self._sock is None:
+            sock = socket.create_connection(self.address,
+                                            timeout=self.config.connect_timeout)
+            sock.settimeout(self.config.op_timeout)
+            self._sock = sock
+            self._buf = _RecvBuffer(sock)
+            if self._ever_connected:
+                self.stats.note_reconnect()
+            self._ever_connected = True
+        assert self._buf is not None
+        return self._buf
+
+    def _drop_connection(self) -> None:
+        """Close a socket we no longer trust; never reuse it."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = None
+        self._buf = None
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._drop_connection()
+
+    def _backoff(self, attempt: int) -> None:
+        base = min(self.config.backoff_max,
+                   self.config.backoff_base * (2.0 ** attempt))
+        if base <= 0:
+            return
+        spread = self.config.jitter
+        factor = 1.0 if spread == 0 else (1.0 - spread) + 2.0 * spread * float(self._rng.random())
+        self._sleep(base * factor)
+
+    # --- the request loop -------------------------------------------------
 
     def _roundtrip(self, header: str, payload: bytes = b"") -> bytes:
-        self._sock.sendall(header.encode("utf-8") + b"\n" + payload)
-        status = _recv_line(self._sock).decode("utf-8")
+        wire = header.encode("utf-8") + b"\n" + payload
+        attempts = self.config.retries + 1
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            t0 = time.perf_counter()
+            try:
+                buf = self._ensure_connected()
+                self.stats.note_request(len(wire))
+                self._sock.sendall(wire)  # type: ignore[union-attr]
+                return self._read_response(buf, header, t0)
+            except (socket.timeout, TimeoutError) as exc:
+                last_exc = exc
+                self._drop_connection()
+                self.stats.note_retry(timed_out=True)
+            except WireProtocolError as exc:
+                # The peer sent something unframeable — desynced or
+                # garbage-injected. The connection is dead to us.
+                last_exc = exc
+                self._drop_connection()
+                self.stats.note_retry(timed_out=False, protocol=True)
+            except (ConnectionError, OSError) as exc:
+                last_exc = exc
+                self._drop_connection()
+                self.stats.note_retry(timed_out=False)
+            if attempt < attempts - 1:
+                self._backoff(attempt)
+        self.stats.note_exhausted()
+        raise StoreUnavailable(
+            f"{header.split()[0]} against {self.address[0]}:{self.address[1]} "
+            f"failed after {attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    def _read_response(self, buf: _RecvBuffer, header: str, t0: float) -> bytes:
+        status = buf.recv_line().decode("utf-8", "replace")
         if status.startswith("OK "):
-            return _recv_exact(self._sock, int(status[3:]))
+            try:
+                n = int(status[3:])
+            except ValueError:
+                raise WireProtocolError(f"malformed OK length: {status!r}") from None
+            if n < 0 or n > self.config.max_payload:
+                raise WireProtocolError(f"OK length out of range: {n}")
+            body = buf.recv_exact(n)
+            self.stats.note_response(n, time.perf_counter() - t0)
+            return body
         if status == "NF":
+            self.stats.note_response(0, time.perf_counter() - t0)
             raise KeyNotFound(header.split()[1] if " " in header else "?")
-        raise StoreError(status[4:] if status.startswith("ERR ") else status)
+        if status.startswith("ERR "):
+            self.stats.note_response(0, time.perf_counter() - t0)
+            raise StoreError(status[4:])
+        raise WireProtocolError(f"unparseable response {status!r}")
+
+    # --- operations -------------------------------------------------------
 
     def ping(self) -> bool:
         return self._roundtrip("PING") == b"PONG"
 
     def set(self, key: str, value: bytes) -> None:
-        self._roundtrip(f"SET {key} {len(value)}", value)
+        self._roundtrip(f"SET {_check_wire_key(key)} {len(value)}", value)
 
     def get(self, key: str) -> bytes:
         return self._roundtrip(f"GET {key}")
@@ -194,23 +545,39 @@ class NetKVClient:
         return raw.decode("utf-8").split("\x00") if raw else []
 
     def rename(self, src: str, dst: str) -> None:
-        self._roundtrip(f"RENAME {src} {dst}")
+        self._roundtrip(f"RENAME {src} {_check_wire_key(dst)}")
 
     def __len__(self) -> int:
         return int(self._roundtrip("LEN"))
 
     def shutdown_server(self) -> None:
-        self._sock.sendall(b"SHUTDOWN\n")
+        try:
+            self._ensure_connected()
+            self._sock.sendall(b"SHUTDOWN\n")  # type: ignore[union-attr]
+        except OSError:
+            pass
         self.close()
 
 
 class NetKVCluster:
-    """Slot-routed client over several networked shards."""
+    """Slot-routed client over several networked shards.
 
-    def __init__(self, addresses: List[Tuple[str, int]]) -> None:
+    All per-shard clients share one :class:`TransportStats` and one
+    :class:`TransportConfig`, so the cluster reports transport health
+    for the store as a whole.
+    """
+
+    def __init__(self, addresses: List[Tuple[str, int]],
+                 config: Optional[TransportConfig] = None,
+                 rng: Optional[np.random.Generator] = None) -> None:
         if not addresses:
             raise StoreError("cluster needs at least one server address")
-        self.clients = [NetKVClient(addr) for addr in addresses]
+        self.config = config or TransportConfig()
+        self.stats = TransportStats()
+        self.clients = [
+            NetKVClient(addr, config=self.config, stats=self.stats, rng=rng)
+            for addr in addresses
+        ]
 
     def client_for(self, key: str) -> NetKVClient:
         return self.clients[key_slot(key) % len(self.clients)]
@@ -256,8 +623,15 @@ class NetKVStore(DataStore):
         self.cluster = cluster
 
     @classmethod
-    def connect(cls, addresses: List[Tuple[str, int]]) -> "NetKVStore":
-        return cls(NetKVCluster(addresses))
+    def connect(cls, addresses: List[Tuple[str, int]],
+                config: Optional[TransportConfig] = None,
+                rng: Optional[np.random.Generator] = None) -> "NetKVStore":
+        return cls(NetKVCluster(addresses, config=config, rng=rng))
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Wire-level counters across every shard of the cluster."""
+        return self.cluster.stats
 
     def write(self, key: str, data: bytes) -> None:
         self.cluster.set(validate_key(key), data)

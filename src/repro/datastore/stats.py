@@ -3,15 +3,19 @@
 The campaign "creat[es] and manag[es] several TBs of data each day"; the
 WM needs to know how much each store moved to report that. Backends
 call :meth:`IOStats.note` from their primitives; the WM and benches
-read the counters.
+read the counters. Networked backends additionally keep
+:class:`TransportStats` — the retry/timeout/reconnect counters and the
+round-trip latency histogram the telemetry report surfaces.
 """
 
 from __future__ import annotations
 
+import bisect
+import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
-__all__ = ["IOStats"]
+__all__ = ["IOStats", "LatencyHistogram", "TransportStats"]
 
 
 @dataclass
@@ -59,3 +63,136 @@ class IOStats:
     def reset(self) -> None:
         self.bytes_written = self.bytes_read = 0
         self.writes = self.reads = self.deletes = self.moves = self.scans = 0
+
+
+# Log-spaced round-trip buckets, in milliseconds: sub-ms in-process hops
+# through multi-second timeout-bound stalls all land in a useful bin.
+_LATENCY_EDGES_MS = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed log-bucket latency accumulator (no per-sample retention)."""
+
+    def __init__(self) -> None:
+        self.edges_ms = _LATENCY_EDGES_MS
+        self.counts = [0] * (len(self.edges_ms) + 1)  # last bucket = overflow
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, seconds: float) -> None:
+        ms = seconds * 1e3
+        self.counts[bisect.bisect_left(self.edges_ms, ms)] += 1
+        self.count += 1
+        self.sum_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.count if self.count else 0.0
+
+    def quantile_ms(self, q: float) -> float:
+        """Upper edge of the bucket holding the q-quantile (0 < q <= 1)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return self.edges_ms[i] if i < len(self.edges_ms) else self.max_ms
+        return self.max_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms(),
+            "p50_ms": self.quantile_ms(0.5),
+            "p99_ms": self.quantile_ms(0.99),
+            "max_ms": self.max_ms,
+            "buckets": {
+                f"<={edge:g}ms": n
+                for edge, n in zip(self.edges_ms, self.counts)
+                if n
+            } | ({f">{self.edges_ms[-1]:g}ms": self.counts[-1]}
+                 if self.counts[-1] else {}),
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.edges_ms) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+
+class TransportStats:
+    """Wire-level counters for one networked store (shared by its clients).
+
+    Tracks what :class:`IOStats` cannot see: how hard the transport had
+    to work to complete each logical operation. A cluster hands one
+    instance to all of its per-shard clients, so the numbers describe
+    the store as the workflow experiences it. Increments are
+    lock-guarded because feedback managers fetch through thread pools.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.reconnects = 0
+        self.protocol_errors = 0
+        self.exhausted = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.latency = LatencyHistogram()
+
+    def note_request(self, nbytes_sent: int) -> None:
+        with self._lock:
+            self.requests += 1
+            self.bytes_sent += nbytes_sent
+
+    def note_response(self, nbytes_received: int, seconds: float) -> None:
+        with self._lock:
+            self.bytes_received += nbytes_received
+            self.latency.observe(seconds)
+
+    def note_retry(self, *, timed_out: bool, protocol: bool = False) -> None:
+        with self._lock:
+            self.retries += 1
+            if timed_out:
+                self.timeouts += 1
+            if protocol:
+                self.protocol_errors += 1
+
+    def note_reconnect(self) -> None:
+        with self._lock:
+            self.reconnects += 1
+
+    def note_exhausted(self) -> None:
+        with self._lock:
+            self.exhausted += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "reconnects": self.reconnects,
+                "protocol_errors": self.protocol_errors,
+                "exhausted": self.exhausted,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "latency": self.latency.as_dict(),
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.requests = self.retries = self.timeouts = 0
+            self.reconnects = self.protocol_errors = self.exhausted = 0
+            self.bytes_sent = self.bytes_received = 0
+            self.latency.reset()

@@ -25,6 +25,7 @@ import io
 import json
 import os
 import tarfile
+import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -53,6 +54,10 @@ class IndexedTar:
             raise StoreError(f"archive path must end with .tar: {path!r}")
         self.path = path
         self.index_path = path + ".idx"
+        # The WM's ThreadAdapter runs job bodies concurrently, so the
+        # shared reader/writer handles need seek+read / offset+append
+        # atomicity — an unguarded seek is a corrupted payload.
+        self._lock = threading.RLock()
         self._entries: Dict[str, Tuple[int, int]] = {}  # key -> (offset, size)
         self._writer: Optional[tarfile.TarFile] = None
         self._reader: Optional[io.BufferedReader] = None
@@ -126,44 +131,48 @@ class IndexedTar:
         if self._readonly:
             raise StoreError(f"archive {self.path!r} opened read-only")
         validate_key(key)
-        self._open_writer()
-        info = tarfile.TarInfo(name=key)
-        info.size = len(data)
-        info.mtime = int(time.time())
-        header_offset = self._writer.offset
-        self._writer.addfile(info, io.BytesIO(data))
-        data_offset = header_offset + _BLOCK
-        self._entries[key] = (data_offset, len(data))
-        self._append_index({"k": key, "o": data_offset, "s": len(data)})
+        with self._lock:
+            self._open_writer()
+            info = tarfile.TarInfo(name=key)
+            info.size = len(data)
+            info.mtime = int(time.time())
+            header_offset = self._writer.offset
+            self._writer.addfile(info, io.BytesIO(data))
+            data_offset = header_offset + _BLOCK
+            self._entries[key] = (data_offset, len(data))
+            self._append_index({"k": key, "o": data_offset, "s": len(data)})
 
     def read(self, key: str) -> bytes:
         """Random-access read of the latest version of ``key``."""
-        if key not in self._entries:
-            raise KeyNotFound(key)
-        offset, size = self._entries[key]
-        fh = self._open_reader()
-        fh.seek(offset)
-        data = fh.read(size)
+        with self._lock:
+            if key not in self._entries:
+                raise KeyNotFound(key)
+            offset, size = self._entries[key]
+            fh = self._open_reader()
+            fh.seek(offset)
+            data = fh.read(size)
         if len(data) != size:
             raise StoreError(f"short read for {key!r}: archive truncated?")
         return data
 
     def tombstone(self, key: str) -> None:
         """Logically remove ``key`` (data remains in the tar)."""
-        if key not in self._entries:
-            raise KeyNotFound(key)
-        del self._entries[key]
-        self._append_index({"k": key, "del": 1})
+        with self._lock:
+            if key not in self._entries:
+                raise KeyNotFound(key)
+            del self._entries[key]
+            self._append_index({"k": key, "del": 1})
 
     def alias(self, src: str, dst: str) -> None:
         """Index-only move: ``dst`` points at ``src``'s data; ``src`` dies."""
-        if src not in self._entries:
-            raise KeyNotFound(src)
-        offset, size = self._entries.pop(src)
         validate_key(dst)
-        self._entries[dst] = (offset, size)
-        self._append_index({"k": src, "del": 1})
-        self._append_index({"k": dst, "alias": 1, "o": offset, "s": size})
+        with self._lock:
+            if src not in self._entries:
+                raise KeyNotFound(src)
+            offset, size = self._entries.pop(src)
+            self._entries[dst] = (offset, size)
+            self._append_index({"k": src, "del": 1})
+            self._append_index({"k": dst, "alias": 1, "o": offset, "s": size})
 
     def nbytes(self) -> int:
         """Current size of the tar file on disk."""

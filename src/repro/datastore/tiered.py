@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from repro.datastore.base import DataStore, KeyNotFound
+from repro.datastore.base import DataStore, KeyNotFound, StoreUnavailable
 
 __all__ = ["TieredStore"]
 
@@ -40,6 +40,14 @@ class TieredStore(DataStore):
         else lives only in the fast tier until evicted or deleted.
     promote_on_read:
         Copy backing-tier hits back into the fast tier.
+
+    When the fast tier is a networked store and becomes unreachable
+    (:class:`StoreUnavailable`), the tiered store degrades instead of
+    failing: persistent keys keep flowing to the backing tier, reads
+    and scans fall through to backing, and :attr:`degraded_ops` counts
+    how many operations ran in that mode. Only a write that would live
+    *solely* in the unreachable fast tier still raises — swallowing it
+    would silently lose data.
     """
 
     def __init__(
@@ -53,6 +61,7 @@ class TieredStore(DataStore):
         self.backing = backing
         self.persist_prefixes = tuple(persist_prefixes)
         self.promote_on_read = promote_on_read
+        self.degraded_ops = 0
 
     def _persistent(self, key: str) -> bool:
         return any(key.startswith(p) for p in self.persist_prefixes)
@@ -60,18 +69,30 @@ class TieredStore(DataStore):
     # --- primitives -----------------------------------------------------
 
     def write(self, key: str, data: bytes) -> None:
-        self.fast.write(key, data)
-        if self._persistent(key):
+        persistent = self._persistent(key)
+        try:
+            self.fast.write(key, data)
+        except StoreUnavailable:
+            if not persistent:
+                raise
+            self.degraded_ops += 1
+        if persistent:
             self.backing.write(key, data)
 
     def read(self, key: str) -> bytes:
         try:
             return self.fast.read(key)
         except KeyNotFound:
-            data = self.backing.read(key)  # raises KeyNotFound if truly gone
-            if self.promote_on_read:
+            pass
+        except StoreUnavailable:
+            self.degraded_ops += 1
+        data = self.backing.read(key)  # raises KeyNotFound if truly gone
+        if self.promote_on_read:
+            try:
                 self.fast.write(key, data)
-            return data
+            except StoreUnavailable:
+                self.degraded_ops += 1
+        return data
 
     def delete(self, key: str) -> None:
         found = False
@@ -80,6 +101,8 @@ class TieredStore(DataStore):
             found = True
         except KeyNotFound:
             pass
+        except StoreUnavailable:
+            self.degraded_ops += 1
         try:
             self.backing.delete(key)
             found = True
@@ -89,8 +112,12 @@ class TieredStore(DataStore):
             raise KeyNotFound(key)
 
     def keys(self, prefix: str = "") -> List[str]:
-        merged = set(self.fast.keys(prefix)) | set(self.backing.keys(prefix))
-        return sorted(merged)
+        try:
+            fast_keys = set(self.fast.keys(prefix))
+        except StoreUnavailable:
+            self.degraded_ops += 1
+            fast_keys = set()
+        return sorted(fast_keys | set(self.backing.keys(prefix)))
 
     def move(self, src: str, dst: str) -> None:
         data = self.read(src)

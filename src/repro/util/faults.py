@@ -1,0 +1,113 @@
+"""Network-level fault injection for the transport layer.
+
+The Mini-MuMMI experience report and the paper's own §6 both treat the
+in-memory store as the availability bottleneck of the campaign: when
+thousands of clients hammer a handful of servers, connections get
+dropped, delayed, and half-closed. This module provides a deterministic
+harness for reproducing those conditions so the transport's
+retry/timeout behaviour is testable instead of anecdotal.
+
+A :class:`NetworkFaultInjector` is plugged into a
+:class:`~repro.datastore.netkv.NetKVServer`; the server consults it at
+two points:
+
+- :meth:`connection_fate` once per accepted connection — ``"drop"``
+  closes the connection before any request is read (a full-accept-queue
+  or iptables-style drop);
+- :meth:`request_fate` once per parsed request — ``"delay"`` sleeps
+  before responding (a congested server), ``"close"`` closes the
+  connection after reading the request but before responding (a crash
+  mid-exchange), ``"garbage"`` responds with bytes that are not a valid
+  protocol frame (a desynced or corrupted peer).
+
+All draws come from one :class:`numpy.random.Generator` — hand the
+injector a named child stream from :class:`repro.util.rng.RngStream`
+and the fault sequence is reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["NetworkFaultInjector", "FAULT_MODES"]
+
+FAULT_MODES = ("drop", "delay", "close", "garbage")
+
+
+class NetworkFaultInjector:
+    """Deterministic drop/delay/close/garbage faults for a socket server.
+
+    Parameters
+    ----------
+    drop, delay, close, garbage:
+        Independent probabilities in [0, 1]. ``drop`` applies per
+        connection; the others apply per request. When a request draw
+        selects several modes at once, the most destructive wins
+        (garbage > close > delay).
+    delay_seconds:
+        How long a ``"delay"`` fault sleeps.
+    garbage_bytes:
+        The payload a ``"garbage"`` fault sends in place of a response.
+        The default is deliberately not parseable as a protocol frame.
+    rng:
+        Generator for the fault draws. Defaults to a fixed-seed
+        generator so an injector with no arguments is still
+        reproducible; pass a :meth:`RngStream.child` stream to tie it
+        into a campaign's seed tree.
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        close: float = 0.0,
+        garbage: float = 0.0,
+        delay_seconds: float = 0.05,
+        garbage_bytes: bytes = b"\xde\xad\xbe\xef garbage\n",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        rates = {"drop": drop, "delay": delay, "close": close, "garbage": garbage}
+        for mode, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{mode} rate must be in [0, 1], got {rate}")
+        if delay_seconds < 0:
+            raise ValueError("delay_seconds must be >= 0")
+        self.rates = rates
+        self.delay_seconds = float(delay_seconds)
+        self.garbage_bytes = bytes(garbage_bytes)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.injected: Dict[str, int] = {mode: 0 for mode in FAULT_MODES}
+
+    def connection_fate(self) -> Optional[str]:
+        """Fate of a newly accepted connection: ``"drop"`` or None."""
+        if self.rates["drop"] and self.rng.random() < self.rates["drop"]:
+            self.injected["drop"] += 1
+            return "drop"
+        return None
+
+    def request_fate(self) -> Optional[str]:
+        """Fate of one request: ``"garbage"``/``"close"``/``"delay"``/None.
+
+        One draw per mode keeps the per-mode sequences independent of
+        each other; the most destructive selected mode wins.
+        """
+        selected = None
+        for mode in ("delay", "close", "garbage"):  # escalating destructiveness
+            if self.rates[mode] and self.rng.random() < self.rates[mode]:
+                selected = mode
+        if selected is not None:
+            self.injected[selected] += 1
+        return selected
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def reset(self) -> None:
+        for mode in self.injected:
+            self.injected[mode] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rates = ", ".join(f"{m}={r}" for m, r in self.rates.items() if r)
+        return f"NetworkFaultInjector({rates or 'inactive'}, injected={self.total_injected()})"

@@ -10,9 +10,11 @@ from repro.core.config import (
     campaign_config,
     dataclass_from_mapping,
     load_config_file,
+    transport_config,
     workflow_config,
 )
 from repro.core.wm import WorkflowConfig
+from repro.datastore.netkv import TransportConfig
 
 TOML_DOC = """
 [application]
@@ -123,6 +125,24 @@ class TestSections:
     def test_application_unknown_key(self):
         with pytest.raises(ConfigError, match="store_urll"):
             application_kwargs({"application": {"store_urll": "kv://"}})
+
+    def test_transport_section(self):
+        cfg = transport_config({"transport": {"op_timeout": 2, "retries": 6,
+                                              "backoff_max": 0.5}})
+        assert cfg == TransportConfig(op_timeout=2.0, retries=6,
+                                      backoff_max=0.5)
+        assert cfg.connect_timeout == 2.0  # default preserved
+
+    def test_transport_section_defaults(self):
+        assert transport_config({}) == TransportConfig()
+
+    def test_transport_section_rejects_unknown_and_invalid(self):
+        with pytest.raises(ConfigError, match="retrys"):
+            transport_config({"transport": {"retrys": 3}})
+        with pytest.raises(ConfigError):
+            transport_config({"transport": {"retries": -1}})
+        with pytest.raises(ConfigError):
+            transport_config({"transport": {"jitter": 2.0}})
 
 
 class TestJobTypes:

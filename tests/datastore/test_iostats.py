@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datastore import FSStore, KVStore, TaridxStore
-from repro.datastore.stats import IOStats
+from repro.datastore.stats import IOStats, LatencyHistogram, TransportStats
 
 
 @pytest.fixture(params=["fs", "taridx", "kv"])
@@ -78,6 +78,81 @@ class TestIOStatsUnit:
         s.note("write", 100)
         d = s.as_dict()
         assert d["writes"] == 1 and d["bytes_written"] == 100
+
+
+class TestLatencyHistogram:
+    def test_buckets_and_moments(self):
+        h = LatencyHistogram()
+        h.observe(0.001)   # 1 ms
+        h.observe(0.001)
+        h.observe(0.2)     # 200 ms
+        assert h.count == 3
+        assert 0.9 * 67 < h.mean_ms() < 1.1 * 67
+        assert h.max_ms == pytest.approx(200.0)
+        d = h.as_dict()
+        assert sum(d["buckets"].values()) == 3
+        assert d["p50_ms"] <= d["p99_ms"]
+
+    def test_overflow_bucket(self):
+        h = LatencyHistogram()
+        h.observe(30.0)  # 30 s — beyond the last edge
+        assert h.as_dict()["buckets"][">5000ms"] == 1
+
+    def test_empty_histogram(self):
+        d = LatencyHistogram().as_dict()
+        assert d["count"] == 0 and d["p99_ms"] == 0.0
+
+    def test_reset(self):
+        h = LatencyHistogram()
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0 and h.max_ms == 0.0
+
+
+class TestTransportStatsUnit:
+    def test_counters_accumulate(self):
+        t = TransportStats()
+        t.note_request(100)
+        t.note_response(50, 0.002)
+        t.note_retry(timed_out=True)
+        t.note_retry(timed_out=False, protocol=True)
+        t.note_reconnect()
+        t.note_exhausted()
+        d = t.as_dict()
+        assert d["requests"] == 1 and d["bytes_sent"] == 100
+        assert d["bytes_received"] == 50
+        assert d["retries"] == 2 and d["timeouts"] == 1
+        assert d["protocol_errors"] == 1
+        assert d["reconnects"] == 1 and d["exhausted"] == 1
+        assert d["latency"]["count"] == 1
+
+    def test_reset(self):
+        t = TransportStats()
+        t.note_request(10)
+        t.note_retry(timed_out=True)
+        t.reset()
+        d = t.as_dict()
+        assert d["requests"] == 0 and d["retries"] == 0
+        assert d["latency"]["count"] == 0
+
+    def test_thread_safety_smoke(self):
+        import threading
+
+        t = TransportStats()
+
+        def hammer():
+            for _ in range(1000):
+                t.note_request(1)
+                t.note_response(1, 0.0001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        d = t.as_dict()
+        assert d["requests"] == 8000
+        assert d["latency"]["count"] == 8000
 
 
 class TestWorkflowDataVolume:

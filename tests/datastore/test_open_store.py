@@ -25,6 +25,31 @@ class TestOpenStore:
         s = open_store("kv://20")
         assert len(s.cluster.servers) == 20
 
+    def test_netkv_scheme(self):
+        from repro.datastore import NetKVServer, NetKVStore
+
+        servers = [NetKVServer().start() for _ in range(2)]
+        try:
+            url = "netkv://" + ",".join(f"{h}:{p}" for h, p in
+                                        (s.address for s in servers))
+            store = open_store(url)
+            assert isinstance(store, NetKVStore)
+            assert len(store.cluster.clients) == 2
+            store.write("a", b"x")
+            assert store.read("a") == b"x"
+            store.close()
+        finally:
+            for s in servers:
+                s.stop()
+
+    def test_netkv_scheme_rejects_bad_addresses(self):
+        with pytest.raises(StoreError):
+            open_store("netkv://")
+        with pytest.raises(StoreError):
+            open_store("netkv://localhost")  # no port
+        with pytest.raises(StoreError):
+            open_store("netkv://host:notaport")
+
     def test_unknown_scheme(self):
         with pytest.raises(StoreError):
             open_store("s3://bucket")

@@ -79,6 +79,54 @@ class TestIndexedTar:
             IndexedTar(str(tmp_path / "a.bin"))
 
 
+class TestConcurrentAccess:
+    def test_parallel_appends_and_reads_stay_intact(self, tmp_path):
+        """The WM's ThreadAdapter appends while feedback reads; the
+        shared seek+read handle must never hand back another key's
+        bytes (this raced before the archive grew its lock)."""
+        import threading
+
+        arc = IndexedTar(str(tmp_path / "conc.tar"))
+        for i in range(50):
+            arc.append(f"seed/{i}", (f"seed-{i}" * 20).encode())
+        errors = []
+
+        def writer(wid):
+            try:
+                for i in range(100):
+                    arc.append(f"w{wid}/{i}", (f"{wid}:{i}" * 20).encode())
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def reader():
+            try:
+                for i in range(300):
+                    expected = (f"seed-{i % 50}" * 20).encode()
+                    assert arc.read(f"seed/{i % 50}") == expected
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=writer, args=(w,)) for w in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for wid in range(2):
+            for i in range(100):
+                assert arc.read(f"w{wid}/{i}") == (f"{wid}:{i}" * 20).encode()
+        arc.close()
+
+    def test_alias_to_invalid_dst_keeps_src(self, tmp_path):
+        # Popping src before validating dst used to lose the entry.
+        with IndexedTar(str(tmp_path / "a.tar")) as arc:
+            arc.append("k", b"v")
+            with pytest.raises(StoreError):
+                arc.alias("k", "bad//dst")
+            assert arc.read("k") == b"v"
+
+
 class TestCrashRecovery:
     def test_recover_index_rebuilds_from_tar(self, tmp_path):
         path = str(tmp_path / "a.tar")

@@ -1,0 +1,71 @@
+"""Tests for the network-level fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.util.faults import FAULT_MODES, NetworkFaultInjector
+from repro.util.rng import RngStream
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            NetworkFaultInjector(drop=1.5)
+        with pytest.raises(ValueError):
+            NetworkFaultInjector(garbage=-0.1)
+
+    def test_delay_must_be_nonnegative(self):
+        with pytest.raises(ValueError):
+            NetworkFaultInjector(delay=0.1, delay_seconds=-1.0)
+
+
+class TestFates:
+    def test_inactive_injector_never_fires(self):
+        inj = NetworkFaultInjector()
+        assert all(inj.connection_fate() is None for _ in range(100))
+        assert all(inj.request_fate() is None for _ in range(100))
+        assert inj.total_injected() == 0
+
+    def test_drop_rate_one_always_drops(self):
+        inj = NetworkFaultInjector(drop=1.0)
+        assert all(inj.connection_fate() == "drop" for _ in range(20))
+        assert inj.injected["drop"] == 20
+
+    def test_request_modes_fire_and_are_counted(self):
+        inj = NetworkFaultInjector(delay=1.0, delay_seconds=0.0)
+        assert inj.request_fate() == "delay"
+        inj2 = NetworkFaultInjector(close=1.0)
+        assert inj2.request_fate() == "close"
+        inj3 = NetworkFaultInjector(garbage=1.0)
+        assert inj3.request_fate() == "garbage"
+
+    def test_most_destructive_mode_wins(self):
+        inj = NetworkFaultInjector(delay=1.0, close=1.0, garbage=1.0)
+        assert inj.request_fate() == "garbage"
+        assert inj.injected["garbage"] == 1
+        assert inj.injected["close"] == 0
+
+    def test_approximate_rate(self):
+        inj = NetworkFaultInjector(drop=0.3, rng=np.random.default_rng(1))
+        fired = sum(inj.connection_fate() == "drop" for _ in range(2000))
+        assert 0.25 < fired / 2000 < 0.35
+
+
+class TestDeterminism:
+    def test_same_rng_stream_same_fault_sequence(self):
+        def sequence(seed):
+            rng = RngStream(seed).child("netkv-faults")
+            inj = NetworkFaultInjector(drop=0.2, close=0.1, garbage=0.05, rng=rng)
+            conn = [inj.connection_fate() for _ in range(50)]
+            reqs = [inj.request_fate() for _ in range(200)]
+            return conn, reqs
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+
+    def test_reset_clears_counters(self):
+        inj = NetworkFaultInjector(drop=1.0)
+        inj.connection_fate()
+        inj.reset()
+        assert inj.total_injected() == 0
+        assert set(inj.injected) == set(FAULT_MODES)
