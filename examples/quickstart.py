@@ -6,13 +6,22 @@ ML-driven selection and both feedback loops), runs a few coordination
 rounds on this machine, and prints what happened at each scale.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace trace.jsonl   # + span trace
 """
 
+import sys
+
+from repro import trace
 from repro.app import build_application
 from repro.core.wm import WorkflowConfig
 
 
 def main() -> None:
+    trace_path = None
+    if "--trace" in sys.argv:
+        trace_path = sys.argv[sys.argv.index("--trace") + 1]
+        trace.enable()
+
     # One URL picks the data backend: kv:// (Redis-like), fs://, taridx://.
     app = build_application(
         store_url="kv://4",
@@ -39,6 +48,12 @@ def main() -> None:
     print("\n--- data management ---")
     for ns in ("patches/", "rdf/done/", "ss/done/"):
         print(f"  {ns:10s} {len(app.store.keys(ns))} objects")
+
+    if trace_path:
+        n = trace.get_tracer().export_jsonl(trace_path)
+        trace.disable()
+        print(f"\nwrote {n} spans to {trace_path}"
+              f" (analyze: python -m repro trace {trace_path})")
 
 
 if __name__ == "__main__":

@@ -12,6 +12,9 @@ Subpackages
 -----------
 util
     Virtual clock, discrete-event loop, seeded RNG, I/O armoring.
+trace
+    Low-overhead hierarchical span tracing with a JSONL exporter and
+    per-stage latency analysis (see OBSERVABILITY.md).
 datastore
     Abstract data interface with filesystem, indexed-tar (pytaridx) and
     in-memory KV-cluster (Redis-like) backends.

@@ -12,6 +12,9 @@ persistent
     Run a persistent campaign against the elastic allocation broker.
 emulate
     Compare matcher policies on the paper's emulated job mix.
+trace
+    Replay an exported span trace (JSONL) into a per-stage latency
+    breakdown, span events, and the critical path.
 info
     Print the package version and subsystem inventory.
 """
@@ -42,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rounds", type=int, default=3)
     p_run.add_argument("--store", default="kv://4", help="store URL (fs://, taridx://, kv://)")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--trace", metavar="FILE",
+                       help="enable span tracing and export the trace as JSONL")
 
     p_camp = sub.add_parser("campaign", help="simulate an allocation campaign")
     p_camp.add_argument("--config", help="TOML/JSON config file with a [campaign] section")
@@ -56,11 +61,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_emu.add_argument("--scale", type=float, default=0.1,
                        help="fraction of the 4000-node/24k-job mix")
 
+    p_trace = sub.add_parser("trace", help="analyze an exported span trace")
+    p_trace.add_argument("file", help="JSONL trace (from `run --trace` or export_jsonl)")
+    p_trace.add_argument("--occupancy", metavar="PREFIX",
+                         help="also print a binned concurrency series for spans "
+                              "with this name prefix (e.g. wm.cg_sim)")
+    p_trace.add_argument("--bins", type=int, default=20,
+                         help="number of time bins for --occupancy")
+
     sub.add_parser("info", help="package and subsystem inventory")
     return parser
 
 
 def _cmd_run(args) -> int:
+    from repro import trace
     from repro.app.builder import build_application
     from repro.core.config import application_kwargs, load_config_file
 
@@ -68,13 +82,21 @@ def _cmd_run(args) -> int:
         kwargs = application_kwargs(load_config_file(args.config))
     else:
         kwargs = {"store_url": args.store, "seed": args.seed}
-    app = build_application(**kwargs)
-    counters = app.run(nrounds=args.rounds)
+    tracer = trace.enable() if args.trace else None
+    try:
+        app = build_application(**kwargs)
+        counters = app.run(nrounds=args.rounds)
+    finally:
+        if tracer is not None:
+            nspans = tracer.export_jsonl(args.trace)
+            trace.disable()
     print(f"ran {args.rounds} rounds:")
     for key, value in counters.items():
         print(f"  {key:22s} {value}")
     print(f"  continuum couplings updated {app.macro.coupling_version}x; "
           f"CG force field refined {app.forcefield.version}x")
+    if tracer is not None:
+        print(f"  wrote {nspans} spans to {args.trace} (analyze: repro trace {args.trace})")
     return 0
 
 
@@ -139,6 +161,24 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro import trace
+
+    rows = trace.load_trace(args.file)
+    print(trace.render_breakdown(rows))
+    if args.occupancy:
+        series = trace.concurrency_series(rows, prefix=args.occupancy, nbins=args.bins)
+        if not series:
+            print(f"no spans match prefix {args.occupancy!r}")
+        else:
+            peak = max(p["active"] for p in series) or 1.0
+            print(f"occupancy for {args.occupancy!r} ({args.bins} bins):")
+            for p in series:
+                bar = "#" * int(round(40 * p["active"] / peak))
+                print(f"  {p['t0']:>12.4f}s {int(p['active']):>4d} {bar}")
+    return 0
+
+
 def _cmd_info(args) -> int:
     print(f"repro {__version__} — MuMMI (SC '21) reproduction")
     inventory = [
@@ -160,6 +200,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "persistent": _cmd_persistent,
     "emulate": _cmd_emulate,
+    "trace": _cmd_trace,
     "info": _cmd_info,
 }
 

@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import trace
 from repro.datastore.base import DataStore, StoreUnavailable
 
 __all__ = ["FeedbackReport", "FeedbackManager", "StoreFeedbackMixin"]
@@ -84,31 +85,43 @@ class FeedbackManager(abc.ABC):
         frames (at-least-once feedback).
         """
         t0 = time.perf_counter()
-        try:
-            items = self.collect()
-            t1 = time.perf_counter()
-            result = self.process(items) if items else None
-            if result is not None:
-                self.report(result)
-            t2 = time.perf_counter()
-            self.tag([k for k, _ in items])
-            t3 = time.perf_counter()
-            rep = FeedbackReport(
-                time=now,
-                n_items=len(items),
-                collect_seconds=t1 - t0,
-                process_seconds=t2 - t1,
-                tag_seconds=t3 - t2,
-            )
-        except StoreUnavailable as exc:
-            rep = FeedbackReport(
-                time=now,
-                n_items=0,
-                collect_seconds=time.perf_counter() - t0,
-                process_seconds=0.0,
-                tag_seconds=0.0,
-                error=str(exc),
-            )
+        with trace.span("feedback.iteration") as sp:
+            if sp:
+                sp.set(manager=type(self).__name__)
+            try:
+                with trace.span("feedback.collect"):
+                    items = self.collect()
+                t1 = time.perf_counter()
+                with trace.span("feedback.process"):
+                    result = self.process(items) if items else None
+                    if result is not None:
+                        self.report(result)
+                t2 = time.perf_counter()
+                with trace.span("feedback.tag"):
+                    self.tag([k for k, _ in items])
+                t3 = time.perf_counter()
+                rep = FeedbackReport(
+                    time=now,
+                    n_items=len(items),
+                    collect_seconds=t1 - t0,
+                    process_seconds=t2 - t1,
+                    tag_seconds=t3 - t2,
+                )
+                if sp:
+                    sp.set(items=len(items))
+            except StoreUnavailable as exc:
+                # The outage is an annotated point on the iteration span,
+                # so a trace of a fault-injection run shows exactly which
+                # iterations the store cost the workflow.
+                sp.event("store_unavailable", error=str(exc))
+                rep = FeedbackReport(
+                    time=now,
+                    n_items=0,
+                    collect_seconds=time.perf_counter() - t0,
+                    process_seconds=0.0,
+                    tag_seconds=0.0,
+                    error=str(exc),
+                )
         self.reports.append(rep)
         self.total_items += rep.n_items
         return rep
@@ -150,7 +163,9 @@ class StoreFeedbackMixin:
         if self.fetch_workers == 1 or len(keys) < 2:
             return [(k, self.store.read(k)) for k in keys]
         with ThreadPoolExecutor(max_workers=self.fetch_workers) as pool:
-            payloads = list(pool.map(self.store.read, keys))
+            # trace.wrap carries the collect span into the pool threads,
+            # so parallel reads still parent to this iteration's trace.
+            payloads = list(pool.map(trace.wrap(self.store.read), keys))
         return list(zip(keys, payloads))
 
     def tag(self, keys: Sequence[str]) -> None:

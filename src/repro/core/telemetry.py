@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro import trace as trace_mod
 from repro.core.wm import WorkflowManager
 from repro.util import units
 
@@ -20,7 +21,31 @@ __all__ = ["TelemetryReport", "collect_telemetry", "render_report"]
 
 @dataclass(frozen=True)
 class TelemetryReport:
-    """A structured snapshot of the whole workflow's health."""
+    """A structured snapshot of the whole workflow's health.
+
+    Fields (see OBSERVABILITY.md for the full field-by-field guide):
+
+    - ``rounds``: WM rounds completed so far (count).
+    - ``counters``: WM pipeline counters, e.g. ``cg_finished`` (counts).
+    - ``lock_stats``: :class:`~repro.util.locks.LockStats` totals across
+      the WM's shared state — ``acquisitions``, ``contentions``,
+      ``failed_tries`` (all counts).
+    - ``trackers``: per job type, ``active`` / ``running`` / ``pending``
+      / ``completed`` / ``abandoned`` job counts.
+    - ``store_io``: :class:`~repro.datastore.stats.IOStats` dict —
+      ``reads`` / ``writes`` / ``deletes`` / ``moves`` / ``scans``
+      (counts) and ``bytes_read`` / ``bytes_written`` (bytes).
+    - ``feedback``: one row per feedback manager — ``iterations`` and
+      ``total_items`` (counts), ``mean_seconds`` (seconds/iteration).
+    - ``selectors``: sampler occupancy — candidate/selected counts plus
+      ``frame_bin_coverage`` (fraction in [0, 1]).
+    - ``transport``: wire-level counters (retries, timeouts, reconnects,
+      latency percentiles in ms) when the store is networked; empty for
+      in-process backends.
+    - ``trace``: span-tracing summary when tracing is enabled — total
+      ``spans`` and ``dropped`` (counts) and per-stage ``count`` /
+      ``total_ms`` (milliseconds); empty when tracing is off.
+    """
 
     rounds: int
     counters: Dict[str, int]
@@ -29,17 +54,19 @@ class TelemetryReport:
     store_io: Dict[str, int]
     feedback: List[Dict[str, Any]]
     selectors: Dict[str, Any]
-    # Wire-level counters (retries, timeouts, reconnects, latency) when
-    # the store is networked; empty for in-process backends.
     transport: Dict[str, Any] = field(default_factory=dict)
+    trace: Dict[str, Any] = field(default_factory=dict)
 
     def data_written(self) -> int:
-        return self.store_io["bytes_written"]
+        """Total bytes written to the store (0 if the backend reports none)."""
+        return self.store_io.get("bytes_written", 0)
 
     def jobs_completed(self) -> int:
-        return sum(t["completed"] for t in self.trackers.values())
+        """Completed jobs summed over every tracker (missing keys count 0)."""
+        return sum(t.get("completed", 0) for t in self.trackers.values())
 
     def feedback_items(self) -> int:
+        """Frames processed across all feedback managers (count)."""
         return sum(row["total_items"] for row in self.feedback)
 
 
@@ -76,6 +103,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         "frame_bin_coverage": wm.frame_selector.coverage(),
     }
     tstats = getattr(wm.store, "transport_stats", None)
+    tracer = trace_mod.get_tracer()
     return TelemetryReport(
         rounds=wm.rounds,
         counters=dict(wm.counters),
@@ -85,6 +113,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         feedback=feedback,
         selectors=selectors,
         transport=tstats.as_dict() if tstats is not None else {},
+        trace=tracer.summary() if tracer is not None else {},
     )
 
 
@@ -114,6 +143,15 @@ def render_report(report: TelemetryReport) -> str:
             f"({tr['timeouts']} timeouts), {tr['reconnects']} reconnects, "
             f"{tr['exhausted']} exhausted; "
             f"latency p50<={lat['p50_ms']:.2f} ms p99<={lat['p99_ms']:.2f} ms"
+        )
+    if report.trace:
+        tr = report.trace
+        stages = ", ".join(
+            f"{stage}={agg['total_ms']:.1f}ms/{agg['count']}"
+            for stage, agg in sorted(tr["stages"].items())
+        )
+        lines.append(
+            f"  trace: {tr['spans']} spans ({tr['dropped']} dropped); {stages}"
         )
     for row in report.feedback:
         lines.append(

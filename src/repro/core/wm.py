@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import trace
 from repro.core.feedback import FeedbackManager
 from repro.core.jobs import JobTracker, JobTypeConfig
 from repro.core.patches import Patch, PatchCreator
@@ -189,17 +190,20 @@ class WorkflowManager:
 
     def task1_process_macro(self, advance_us: float = 1.0) -> int:
         """Advance the continuum, cut patches, encode, enqueue candidates."""
-        steps = max(1, int(round(advance_us / self.macro.config.dt)))
-        self.macro.step(steps)
-        snapshot = self.macro.snapshot()
-        patches = self.patch_creator.create(snapshot)
-        if patches:
-            encodings = self.encoder.encode(np.stack([p.flat() for p in patches]))
-            with self._selector_guard.locked():
-                for patch, z in zip(patches, encodings):
-                    queue = self.queue_router(patch)
-                    self.patch_selector.add(Point(id=patch.patch_id, coords=z), queue=queue)
-                    self._patch_by_id[patch.patch_id] = patch
+        with trace.span("wm.task1") as sp:
+            steps = max(1, int(round(advance_us / self.macro.config.dt)))
+            self.macro.step(steps)
+            snapshot = self.macro.snapshot()
+            patches = self.patch_creator.create(snapshot)
+            if patches:
+                encodings = self.encoder.encode(np.stack([p.flat() for p in patches]))
+                with self._selector_guard.locked():
+                    for patch, z in zip(patches, encodings):
+                        queue = self.queue_router(patch)
+                        self.patch_selector.add(Point(id=patch.patch_id, coords=z), queue=queue)
+                        self._patch_by_id[patch.patch_id] = patch
+            if sp:
+                sp.set(patches=len(patches))
         self.counters["snapshots"] += 1
         self.counters["patches"] += len(patches)
         return len(patches)
@@ -216,28 +220,32 @@ class WorkflowManager:
             len(self.cg_ready) + tracker.nactive() < self.config.cg_ready_target
             and self.patch_selector.ncandidates() > 0
         ):
-            with self._selector_guard.locked():
-                selected = self.patch_selector.select(1, now=float(self.rounds))
+            with trace.span("wm.select") as sp:
+                with self._selector_guard.locked():
+                    selected = self.patch_selector.select(1, now=float(self.rounds))
+                if sp and selected:
+                    sp.set(patch=selected[0].id)
             if not selected:
                 break
             patch = self._patch_by_id.pop(selected[0].id)
             self.counters["patches_selected"] += 1
 
             def setup_job(patch=patch):
-                system = createsim(
-                    patch.densities,
-                    box=patch.box_nm / 10.0,  # nm -> engine units
-                    with_raf=patch.protein_state == 1,
-                    patch_id=patch.patch_id,
-                    forcefield=self.forcefield,
-                    beads_per_type=self.config.beads_per_type,
-                    seed=int(self.rng.integers(2**31)),
-                )
-                with self._buffer_lock:
-                    self.cg_ready.append(system)
+                with trace.span("wm.createsim", patch=patch.patch_id):
+                    system = createsim(
+                        patch.densities,
+                        box=patch.box_nm / 10.0,  # nm -> engine units
+                        with_raf=patch.protein_state == 1,
+                        patch_id=patch.patch_id,
+                        forcefield=self.forcefield,
+                        beads_per_type=self.config.beads_per_type,
+                        seed=int(self.rng.integers(2**31)),
+                    )
+                    with self._buffer_lock:
+                        self.cg_ready.append(system)
                 return system.nparticles
 
-            tracker.launch(tag=patch.patch_id, fn=setup_job)
+            tracker.launch(tag=patch.patch_id, fn=trace.wrap(setup_job))
             launched += 1
         return launched
 
@@ -256,36 +264,37 @@ class WorkflowManager:
             def cg_job(system=system, sim_id=sim_id):
                 return self._run_cg_sim(system, sim_id)
 
-            tracker.launch(tag=sim_id, fn=cg_job)
+            tracker.launch(tag=sim_id, fn=trace.wrap(cg_job))
             spawned += 1
         return spawned
 
     def _run_cg_sim(self, system: CGSystem, sim_id: str) -> float:
         """The CG simulation + co-scheduled analysis job body."""
-        cfg = CGConfig(box=system.box, n_lipids=1, seed=int(self.rng.integers(2**31)))
-        sim = CGSim(system.positions, system.type_ids, self.forcefield, cfg,
-                    bonds=system.bonds)
-        analysis = CGAnalysis(sim, sim_id=sim_id)
-        for chunk in range(self.config.cg_chunks_per_job):
-            sim.step(self.config.cg_steps_per_chunk)
-            out = analysis.analyze()
-            self.store.write(
-                f"rdf/live/{sim_id}-{chunk:03d}", out["rdf"].to_bytes()
-            )
-            candidate = out["candidate"]
-            with self._selector_guard.locked():
-                self.frame_selector.add(
-                    Point(id=candidate.frame_id, coords=candidate.encoding)
+        with trace.span("wm.cg_sim", sim=sim_id):
+            cfg = CGConfig(box=system.box, n_lipids=1, seed=int(self.rng.integers(2**31)))
+            sim = CGSim(system.positions, system.type_ids, self.forcefield, cfg,
+                        bonds=system.bonds)
+            analysis = CGAnalysis(sim, sim_id=sim_id)
+            for chunk in range(self.config.cg_chunks_per_job):
+                sim.step(self.config.cg_steps_per_chunk)
+                out = analysis.analyze()
+                self.store.write(
+                    f"rdf/live/{sim_id}-{chunk:03d}", out["rdf"].to_bytes()
                 )
-                self._frame_by_id[candidate.frame_id] = candidate
-                self._frame_systems[candidate.frame_id] = CGSystem(
-                    positions=sim.positions.copy(),
-                    type_ids=sim.type_ids.copy(),
-                    bonds=sim.bonds.copy(),
-                    box=system.box,
-                    source_patch=system.source_patch,
-                )
-                self.counters["frames_seen"] += 1
+                candidate = out["candidate"]
+                with self._selector_guard.locked():
+                    self.frame_selector.add(
+                        Point(id=candidate.frame_id, coords=candidate.encoding)
+                    )
+                    self._frame_by_id[candidate.frame_id] = candidate
+                    self._frame_systems[candidate.frame_id] = CGSystem(
+                        positions=sim.positions.copy(),
+                        type_ids=sim.type_ids.copy(),
+                        bonds=sim.bonds.copy(),
+                        box=system.box,
+                        source_patch=system.source_patch,
+                    )
+                    self.counters["frames_seen"] += 1
         self.counters["cg_finished"] += 1
         return sim.time
 
@@ -297,23 +306,27 @@ class WorkflowManager:
             len(self.aa_ready) + tracker.nactive() < self.config.aa_ready_target
             and self.frame_selector.ncandidates() > 0
         ):
-            with self._selector_guard.locked():
-                selected = self.frame_selector.select(1, now=float(self.rounds))
-                if not selected:
-                    break
-                frame_id = selected[0].id
-                self._frame_by_id.pop(frame_id, None)
-                system = self._frame_systems.pop(frame_id)
+            with trace.span("wm.select") as sp:
+                with self._selector_guard.locked():
+                    selected = self.frame_selector.select(1, now=float(self.rounds))
+                    if not selected:
+                        break
+                    frame_id = selected[0].id
+                    self._frame_by_id.pop(frame_id, None)
+                    system = self._frame_systems.pop(frame_id)
+                if sp:
+                    sp.set(frame=frame_id)
             self.counters["frames_selected"] += 1
 
             def backmap_job(system=system, frame_id=frame_id):
-                aa = backmap(system, self.forcefield, frame_id=frame_id,
-                             seed=int(self.rng.integers(2**31)))
-                with self._buffer_lock:
-                    self.aa_ready.append(aa)
+                with trace.span("wm.backmap", frame=frame_id):
+                    aa = backmap(system, self.forcefield, frame_id=frame_id,
+                                 seed=int(self.rng.integers(2**31)))
+                    with self._buffer_lock:
+                        self.aa_ready.append(aa)
                 return aa.natoms
 
-            tracker.launch(tag=frame_id, fn=backmap_job)
+            tracker.launch(tag=frame_id, fn=trace.wrap(backmap_job))
             launched += 1
         return launched
 
@@ -331,32 +344,37 @@ class WorkflowManager:
             def aa_job(system=system, sim_id=sim_id):
                 return self._run_aa_sim(system, sim_id)
 
-            tracker.launch(tag=sim_id, fn=aa_job)
+            tracker.launch(tag=sim_id, fn=trace.wrap(aa_job))
             spawned += 1
         return spawned
 
     def _run_aa_sim(self, system: AASystem, sim_id: str) -> float:
-        sim = AASim(system.positions, system.bonds, system.backbone,
-                    config=AAConfig(box=system.box, seed=int(self.rng.integers(2**31))))
-        analysis = SecondaryStructureAnalysis(system.backbone, box=system.box)
-        for chunk in range(self.config.aa_chunks_per_job):
-            sim.step(self.config.aa_steps_per_chunk)
-            pattern = analysis.analyze_frame(sim.positions)
-            self.store.write(
-                f"ss/live/{sim_id}-{chunk:03d}",
-                pattern.encode("utf-8"),
-            )
+        with trace.span("wm.aa_sim", sim=sim_id):
+            sim = AASim(system.positions, system.bonds, system.backbone,
+                        config=AAConfig(box=system.box, seed=int(self.rng.integers(2**31))))
+            analysis = SecondaryStructureAnalysis(system.backbone, box=system.box)
+            for chunk in range(self.config.aa_chunks_per_job):
+                sim.step(self.config.aa_steps_per_chunk)
+                pattern = analysis.analyze_frame(sim.positions)
+                self.store.write(
+                    f"ss/live/{sim_id}-{chunk:03d}",
+                    pattern.encode("utf-8"),
+                )
         self.counters["aa_finished"] += 1
         return sim.time
 
     def task3_manage_jobs(self) -> Dict[str, int]:
         """One scan-and-replace pass over all four job types."""
-        return {
-            "createsim": self._fill_cg_buffer(),
-            "cg": self._spawn_cg_sims(),
-            "backmap": self._fill_aa_buffer(),
-            "aa": self._spawn_aa_sims(),
-        }
+        with trace.span("schedule.manage") as sp:
+            launched = {
+                "createsim": self._fill_cg_buffer(),
+                "cg": self._spawn_cg_sims(),
+                "backmap": self._fill_aa_buffer(),
+                "aa": self._spawn_aa_sims(),
+            }
+            if sp:
+                sp.set(**launched)
+        return launched
 
     # ------------------------------------------------------------------
     # Task 4: feedback
@@ -365,9 +383,10 @@ class WorkflowManager:
     def task4_feedback(self) -> int:
         """Run one iteration of every registered feedback manager."""
         n = 0
-        for manager in self.feedback_managers:
-            manager.run_iteration(now=float(self.rounds))
-            n += 1
+        with trace.span("wm.task4"):
+            for manager in self.feedback_managers:
+                manager.run_iteration(now=float(self.rounds))
+                n += 1
         self.counters["feedback_iterations"] += n
         return n
 
@@ -386,14 +405,15 @@ class WorkflowManager:
         launched this round completed — deterministic laptop mode. With
         ``wait=False`` jobs overlap rounds like the production WM.
         """
-        self.task1_process_macro(advance_us)
-        self.task3_manage_jobs()
-        if wait and isinstance(self.adapter, ThreadAdapter):
-            self.adapter.wait_all()
-            # Setup jobs may have refilled buffers; start the sims now.
+        with trace.span("wm.round", round=self.rounds):
+            self.task1_process_macro(advance_us)
             self.task3_manage_jobs()
-            self.adapter.wait_all()
-        self.task4_feedback()
+            if wait and isinstance(self.adapter, ThreadAdapter):
+                self.adapter.wait_all()
+                # Setup jobs may have refilled buffers; start the sims now.
+                self.task3_manage_jobs()
+                self.adapter.wait_all()
+            self.task4_feedback()
         self.rounds += 1
         return dict(self.counters)
 

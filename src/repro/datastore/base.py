@@ -15,6 +15,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
+from repro import trace
 from repro.datastore import serial
 from repro.datastore.stats import IOStats
 
@@ -60,19 +61,34 @@ def validate_key(key: str) -> str:
 
 
 def _instrument(op: str, fn):
-    """Wrap a primitive so every call lands in the store's IOStats."""
+    """Wrap a primitive so every call lands in the store's IOStats.
+
+    The same wrapper opens a ``store.<op>`` trace span around the call
+    (``store.scan`` for key listings) when tracing is enabled, carrying
+    the key and payload size — the store leg of the end-to-end latency
+    attribution OBSERVABILITY.md describes.
+    """
+    span_name = "store." + ("scan" if op == "keys" else op)
 
     @functools.wraps(fn)
     def wrapper(self, *args, **kwargs):
-        result = fn(self, *args, **kwargs)
-        if op == "write":
-            self.stats.note("write", len(args[1]) if len(args) > 1 else 0)
-        elif op == "read":
-            self.stats.note("read", len(result))
-        elif op == "keys":
-            self.stats.note("scan")
-        else:
-            self.stats.note(op)
+        with trace.span(span_name) as sp:
+            if sp and args:
+                sp.set(key=args[0])
+            result = fn(self, *args, **kwargs)
+            if op == "write":
+                nbytes = len(args[1]) if len(args) > 1 else 0
+                self.stats.note("write", nbytes)
+                if sp:
+                    sp.set(bytes=nbytes)
+            elif op == "read":
+                self.stats.note("read", len(result))
+                if sp:
+                    sp.set(bytes=len(result))
+            elif op == "keys":
+                self.stats.note("scan")
+            else:
+                self.stats.note(op)
         return result
 
     wrapper._io_instrumented = True

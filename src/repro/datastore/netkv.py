@@ -46,6 +46,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import trace
 from repro.datastore.base import (
     DataStore,
     KeyNotFound,
@@ -233,46 +234,56 @@ class _Handler(socketserver.BaseRequestHandler):
                 # `continue`d and spun forever on a client sending "\n"s.
                 self._send_err(sock, "empty header")
                 return
-            if injector is not None:
-                fate = injector.request_fate()
-                if fate == "delay":
-                    time.sleep(injector.delay_seconds)
-                elif fate == "close":
+            with trace.span("netkv.handle") as sp:
+                if injector is not None:
+                    fate = injector.request_fate()
+                    if fate == "delay":
+                        if sp:
+                            sp.event("fault", fate="delay",
+                                     seconds=injector.delay_seconds)
+                        time.sleep(injector.delay_seconds)
+                    elif fate == "close":
+                        if sp:
+                            sp.event("fault", fate="close")
+                        return
+                    elif fate == "garbage":
+                        if sp:
+                            sp.event("fault", fate="garbage")
+                        try:
+                            sock.sendall(injector.garbage_bytes)
+                        except OSError:
+                            pass
+                        return
+                try:
+                    parts = header.decode("utf-8").split()
+                except UnicodeDecodeError:
+                    self._send_err(sock, "header is not UTF-8")
                     return
-                elif fate == "garbage":
-                    try:
-                        sock.sendall(injector.garbage_bytes)
-                    except OSError:
-                        pass
+                cmd, args = parts[0].upper(), parts[1:]
+                if sp:
+                    sp.set(cmd=cmd)
+                try:
+                    payload = b""
+                    if cmd == "SET":
+                        payload, args = self._read_set_payload(buf, args, server)
+                    response = self._dispatch(server, cmd, args, payload)
+                except KeyNotFound:
+                    sock.sendall(b"NF\n")
+                    continue
+                except WireProtocolError as exc:
+                    # Framing is broken (bad length field, oversized payload):
+                    # the bytes that follow cannot be trusted as a header.
+                    self._send_err(sock, str(exc))
                     return
-            try:
-                parts = header.decode("utf-8").split()
-            except UnicodeDecodeError:
-                self._send_err(sock, "header is not UTF-8")
-                return
-            cmd, args = parts[0].upper(), parts[1:]
-            try:
-                payload = b""
-                if cmd == "SET":
-                    payload, args = self._read_set_payload(buf, args, server)
-                response = self._dispatch(server, cmd, args, payload)
-            except KeyNotFound:
-                sock.sendall(b"NF\n")
-                continue
-            except WireProtocolError as exc:
-                # Framing is broken (bad length field, oversized payload):
-                # the bytes that follow cannot be trusted as a header.
-                self._send_err(sock, str(exc))
-                return
-            except (ConnectionError, OSError):
-                return
-            except Exception as exc:  # application errors become ERR frames
-                msg = str(exc).replace("\n", " ")[:500]
-                sock.sendall(f"ERR {msg}\n".encode("utf-8"))
-                continue
-            if response is None:
-                return  # SHUTDOWN
-            sock.sendall(f"OK {len(response)}\n".encode("utf-8") + response)
+                except (ConnectionError, OSError):
+                    return
+                except Exception as exc:  # application errors become ERR frames
+                    msg = str(exc).replace("\n", " ")[:500]
+                    sock.sendall(f"ERR {msg}\n".encode("utf-8"))
+                    continue
+                if response is None:
+                    return  # SHUTDOWN
+                sock.sendall(f"OK {len(response)}\n".encode("utf-8") + response)
 
     @staticmethod
     def _send_err(sock: socket.socket, msg: str) -> None:
@@ -475,6 +486,7 @@ class NetKVClient:
 
     def _roundtrip(self, header: str, payload: bytes = b"") -> bytes:
         wire = header.encode("utf-8") + b"\n" + payload
+        op = header.split(" ", 1)[0]
         attempts = self.config.retries + 1
         last_exc: Optional[BaseException] = None
         for attempt in range(attempts):
@@ -488,19 +500,23 @@ class NetKVClient:
                 last_exc = exc
                 self._drop_connection()
                 self.stats.note_retry(timed_out=True)
+                trace.event("retry", kind="timeout", op=op, attempt=attempt)
             except WireProtocolError as exc:
                 # The peer sent something unframeable — desynced or
                 # garbage-injected. The connection is dead to us.
                 last_exc = exc
                 self._drop_connection()
                 self.stats.note_retry(timed_out=False, protocol=True)
+                trace.event("retry", kind="protocol", op=op, attempt=attempt)
             except (ConnectionError, OSError) as exc:
                 last_exc = exc
                 self._drop_connection()
                 self.stats.note_retry(timed_out=False)
+                trace.event("retry", kind="connection", op=op, attempt=attempt)
             if attempt < attempts - 1:
                 self._backoff(attempt)
         self.stats.note_exhausted()
+        trace.event("exhausted", op=op, attempts=attempts)
         raise StoreUnavailable(
             f"{header.split()[0]} against {self.address[0]}:{self.address[1]} "
             f"failed after {attempts} attempt(s): {last_exc}"

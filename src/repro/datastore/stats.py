@@ -20,7 +20,13 @@ __all__ = ["IOStats", "LatencyHistogram", "TransportStats"]
 
 @dataclass
 class IOStats:
-    """Byte and operation counters for one store."""
+    """Byte and operation counters for one store.
+
+    Units: ``bytes_written`` and ``bytes_read`` are bytes;
+    ``writes``, ``reads``, ``deletes``, ``moves``, and ``scans`` are
+    operation counts. All counters are cumulative since construction
+    (or the last :meth:`reset`).
+    """
 
     bytes_written: int = 0
     bytes_read: int = 0
@@ -74,7 +80,17 @@ _LATENCY_EDGES_MS = (
 
 
 class LatencyHistogram:
-    """Fixed log-bucket latency accumulator (no per-sample retention)."""
+    """Fixed log-bucket latency accumulator (no per-sample retention).
+
+    All values are milliseconds: ``edges_ms`` are bucket upper edges,
+    ``sum_ms`` and ``max_ms`` accumulate observed round trips, and the
+    exported ``mean_ms`` / ``p50_ms`` / ``p99_ms`` derive from them.
+    ``counts`` holds per-bucket sample counts (exported as the sparse
+    ``buckets`` map; the final entry is the overflow bucket) and
+    ``count`` is the total number of samples.
+    Quantiles are bucket upper bounds, i.e. conservative: the true
+    quantile is at most the reported value.
+    """
 
     def __init__(self) -> None:
         self.edges_ms = _LATENCY_EDGES_MS
@@ -136,6 +152,15 @@ class TransportStats:
     instance to all of its per-shard clients, so the numbers describe
     the store as the workflow experiences it. Increments are
     lock-guarded because feedback managers fetch through thread pools.
+
+    Counters (all cumulative counts unless noted): ``requests`` —
+    attempts that reached the wire; ``retries`` — failed attempts that
+    were re-tried, of which ``timeouts`` hit the op timeout and
+    ``protocol_errors`` were unframeable responses; ``reconnects`` —
+    fresh connections after the first; ``exhausted`` — operations that
+    spent the whole retry budget and raised ``StoreUnavailable``;
+    ``bytes_sent`` / ``bytes_received`` — payload volume in bytes;
+    ``latency`` — a :class:`LatencyHistogram` of round-trip times.
     """
 
     def __init__(self) -> None:

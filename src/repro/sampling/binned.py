@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import trace
 from repro.sampling.base import Sampler
 from repro.sampling.points import Point
 
@@ -124,15 +125,18 @@ class BinnedSampler(Sampler):
         """Consume ``k`` candidates, preferring under-simulated bins."""
         if k < 1:
             raise ValueError("k must be >= 1")
-        chosen: List[Point] = []
-        for _ in range(k):
-            if self._total == 0:
-                break
-            if self.randomness > 0 and self.rng.random() < self.randomness:
-                point = self._pop_random()
-            else:
-                point = self._pop_least_simulated()
-            chosen.append(point)
+        with trace.span("select.frame") as sp:
+            chosen: List[Point] = []
+            for _ in range(k):
+                if self._total == 0:
+                    break
+                if self.randomness > 0 and self.rng.random() < self.randomness:
+                    point = self._pop_random()
+                else:
+                    point = self._pop_least_simulated()
+                chosen.append(point)
+            if sp:
+                sp.set(k=k, chosen=len(chosen), candidates=self._total)
         self._record(now, chosen, detail=f"randomness={self.randomness}")
         return chosen
 

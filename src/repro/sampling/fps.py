@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import trace
 from repro.sampling.ann import KDTreeIndex, NeighborIndex
 from repro.sampling.base import Sampler
 from repro.sampling.points import Point
@@ -130,23 +131,27 @@ class FarthestPointSampler(Sampler):
         if k < 1:
             raise ValueError("k must be >= 1")
         t0 = time.perf_counter()
-        chosen: List[Point] = []
-        names = [queue] if queue is not None else list(self.queues)
-        cursor = 0
-        while len(chosen) < k:
-            # Next non-empty queue in round-robin order.
-            for _ in range(len(names)):
-                name = names[cursor % len(names)]
-                cursor += 1
-                if len(self.queues[name]):
-                    break
-            else:
-                break  # all queues empty
-            ranked = self.rank(name)
-            best, _novelty = ranked[0]
-            self.queues[name].pop(best.id)
-            self._mark_selected(best)
-            chosen.append(best)
+        with trace.span("select.patch") as sp:
+            chosen: List[Point] = []
+            names = [queue] if queue is not None else list(self.queues)
+            cursor = 0
+            while len(chosen) < k:
+                # Next non-empty queue in round-robin order.
+                for _ in range(len(names)):
+                    name = names[cursor % len(names)]
+                    cursor += 1
+                    if len(self.queues[name]):
+                        break
+                else:
+                    break  # all queues empty
+                ranked = self.rank(name)
+                best, _novelty = ranked[0]
+                self.queues[name].pop(best.id)
+                self._mark_selected(best)
+                chosen.append(best)
+            if sp:
+                sp.set(k=k, chosen=len(chosen),
+                       candidates=self.ncandidates())
         self.last_update_seconds = time.perf_counter() - t0
         self._record(now, chosen, detail=f"queue={queue or 'round-robin'}")
         return chosen

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from repro import trace
 from repro.sched.jobspec import JobRecord, JobSpec, JobState
 from repro.sched.matcher import Matcher, MatchPolicy
 from repro.sched.queue import QueueCosts, QueueManager, QueueMode
@@ -129,7 +130,10 @@ class FluxInstance:
             self.loop.schedule_in(self.cycle_interval, self._cycle, label="flux-cycle")
 
     def _cycle(self) -> None:
-        report = self.queue.cycle(self.loop.now, budget=self.cycle_interval)
+        with trace.span("schedule.cycle") as sp:
+            report = self.queue.cycle(self.loop.now, budget=self.cycle_interval)
+            if sp:
+                sp.set(started=len(report.started), backlog=self.queue.backlog)
         for record in report.started:
             self.start_log.append((record.start_time, record.job_id, record.spec.name))
             if record.spec.duration is not None:

@@ -16,6 +16,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import trace
 from repro.sched.jobspec import JobSpec
 from repro.sched.resources import Allocation, Node, ResourceGraph
 
@@ -68,7 +69,25 @@ class Matcher:
     # --- public API ------------------------------------------------------
 
     def match(self, spec: JobSpec) -> Optional[Allocation]:
-        """Propose a placement, or None if the job cannot run now."""
+        """Propose a placement, or None if the job cannot run now.
+
+        This is the scheduler's hot loop (§5.2's 670× result is about
+        exactly this call), so tracing is guarded on
+        :func:`repro.trace.enabled` — the disabled cost is one global
+        check, held under 5% of the match cost by
+        ``benchmarks/test_ext_trace_overhead.py``.
+        """
+        if not trace.enabled():
+            return self._match(spec)
+        visited_before = self.stats.vertices_visited
+        with trace.span("schedule.match") as sp:
+            alloc = self._match(spec)
+            sp.set(job=spec.name, policy=self.policy.value,
+                   matched=alloc is not None,
+                   vertices=self.stats.vertices_visited - visited_before)
+        return alloc
+
+    def _match(self, spec: JobSpec) -> Optional[Allocation]:
         self.stats.calls += 1
         if spec.exclusive:
             placement = self._match_exclusive(spec)

@@ -18,7 +18,14 @@ __all__ = ["SharedState", "try_acquire", "LockStats"]
 
 
 class LockStats:
-    """Counters for lock contention, used by workflow profiling."""
+    """Counters for lock contention, used by workflow profiling.
+
+    All fields are cumulative counts: ``acquisitions`` — successful
+    lock acquisitions (blocking or not); ``contentions`` — blocking
+    acquisitions that had to wait because another thread held the lock;
+    ``failed_tries`` — nonblocking attempts that found the lock busy
+    and gave up.
+    """
 
     __slots__ = ("acquisitions", "contentions", "failed_tries")
 

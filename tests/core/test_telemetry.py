@@ -3,7 +3,7 @@
 import pytest
 
 from repro.app.builder import build_application
-from repro.core.telemetry import collect_telemetry, render_report
+from repro.core.telemetry import TelemetryReport, collect_telemetry, render_report
 from repro.core.wm import WorkflowConfig
 
 
@@ -53,6 +53,40 @@ class TestCollect:
     def test_lock_stats_present(self, app):
         rep = collect_telemetry(app.wm)
         assert rep.lock_stats["acquisitions"] > 0
+
+
+class TestPartialSnapshots:
+    """The reducers tolerate snapshots from backends/trackers that don't
+    report every key (e.g. a custom store whose stats dict is minimal)."""
+
+    @staticmethod
+    def _report(store_io, trackers):
+        return TelemetryReport(
+            rounds=0, counters={}, lock_stats={}, trackers=trackers,
+            store_io=store_io, feedback=[], selectors={},
+        )
+
+    def test_data_written_missing_key_is_zero(self):
+        rep = self._report(store_io={"writes": 3}, trackers={})
+        assert rep.data_written() == 0
+
+    def test_data_written_present_key(self):
+        rep = self._report(store_io={"bytes_written": 123}, trackers={})
+        assert rep.data_written() == 123
+
+    def test_jobs_completed_missing_key_counts_zero(self):
+        rep = self._report(
+            store_io={},
+            trackers={"cg-sim": {"completed": 4}, "custom": {"active": 1}},
+        )
+        assert rep.jobs_completed() == 4
+
+    def test_empty_report_reducers(self):
+        rep = self._report(store_io={}, trackers={})
+        assert rep.data_written() == 0
+        assert rep.jobs_completed() == 0
+        assert rep.feedback_items() == 0
+        assert rep.trace == {}
 
 
 class TestRender:

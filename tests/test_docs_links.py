@@ -1,0 +1,53 @@
+"""Every markdown cross-reference in the repo's docs must resolve.
+
+Scans all top-level ``*.md`` files for ``[text](target)`` links and
+asserts each relative target exists on disk. External links (http/https/
+mailto) and pure in-page anchors are skipped; a ``#fragment`` suffix on
+a file target is allowed (only the file part is checked).
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+DOCS = sorted(glob.glob(os.path.join(ROOT, "*.md")))
+
+# [text](target) — target must not itself contain parens or whitespace.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def relative_links(path):
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks may contain bracketed text that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    out = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        out.append(target.split("#", 1)[0])
+    return out
+
+
+def test_docs_were_found():
+    assert any(os.path.basename(p) == "README.md" for p in DOCS)
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=[os.path.basename(p) for p in DOCS])
+def test_relative_links_resolve(doc):
+    missing = []
+    for target in relative_links(doc):
+        resolved = os.path.normpath(os.path.join(os.path.dirname(doc), target))
+        if not os.path.exists(resolved):
+            missing.append(target)
+    assert not missing, f"{os.path.basename(doc)} links to missing files: {missing}"
+
+
+def test_observability_is_cross_linked():
+    """The observability guide is reachable from the entry-point docs."""
+    for name in ("README.md", "DESIGN.md"):
+        with open(os.path.join(ROOT, name), encoding="utf-8") as fh:
+            assert "OBSERVABILITY.md" in fh.read(), f"{name} must link the guide"

@@ -1,0 +1,369 @@
+"""Tests for repro.trace: spans, context propagation, export, analysis."""
+
+import json
+import threading
+
+import pytest
+
+from repro import trace
+
+
+@pytest.fixture(autouse=True)
+def reset_global_tracer():
+    """Every test starts and ends with tracing disabled."""
+    trace.disable()
+    yield
+    trace.disable()
+
+
+class FakeClock:
+    """Deterministic .now-style clock advancing 1.0 per read."""
+
+    def __init__(self) -> None:
+        self._t = 0.0
+
+    def __call__(self) -> float:
+        self._t += 1.0
+        return self._t
+
+
+class TestDisabledPath:
+    def test_enabled_false_by_default(self):
+        assert not trace.enabled()
+        assert trace.get_tracer() is None
+
+    def test_span_returns_shared_falsy_noop(self):
+        sp = trace.span("wm.select", patch="p0")
+        assert sp is trace.NOOP_SPAN
+        assert not sp
+        with sp as inner:
+            inner.set(anything=1)
+            inner.event("whatever")
+
+    def test_module_event_and_current_span_are_noops(self):
+        trace.event("retry", kind="timeout")  # must not raise
+        assert trace.current_span() is None
+
+    def test_wrap_is_identity(self):
+        def fn():
+            return 42
+
+        assert trace.wrap(fn) is fn
+
+    def test_exceptions_propagate_through_noop_span(self):
+        with pytest.raises(ValueError):
+            with trace.span("x"):
+                raise ValueError("boom")
+
+
+class TestSpans:
+    def test_enable_installs_and_disable_removes(self):
+        tracer = trace.enable()
+        assert trace.enabled()
+        assert trace.get_tracer() is tracer
+        trace.disable()
+        assert not trace.enabled()
+
+    def test_parentage_nesting(self):
+        trace.enable()
+        with trace.span("wm.round") as outer:
+            assert trace.current_span() is outer
+            with trace.span("store.write") as inner:
+                assert inner.parent_id == outer.span_id
+            assert trace.current_span() is outer
+        assert outer.parent_id is None
+
+    def test_attrs_and_to_row(self):
+        tracer = trace.enable()
+        with trace.span("store.write", key="k") as sp:
+            sp.set(bytes=10)
+        (row,) = tracer.rows()
+        assert row["name"] == "store.write"
+        assert row["stage"] == "store"
+        assert row["attrs"] == {"key": "k", "bytes": 10}
+        assert row["parent"] is None
+        assert row["dur"] == row["t1"] - row["t0"] >= 0
+
+    def test_exception_sets_error_attr_and_finishes_span(self):
+        tracer = trace.enable()
+        with pytest.raises(RuntimeError):
+            with trace.span("feedback.iteration"):
+                raise RuntimeError("down")
+        (row,) = tracer.rows()
+        assert row["attrs"]["error"] == "RuntimeError"
+
+    def test_events_attach_to_active_span(self):
+        tracer = trace.enable()
+        with trace.span("store.read"):
+            trace.event("retry", kind="timeout", attempt=0)
+            trace.event("retry", kind="connection", attempt=1)
+        trace.event("orphan")  # no active span: silently ignored
+        (row,) = tracer.rows()
+        assert [e["name"] for e in row["events"]] == ["retry", "retry"]
+        assert row["events"][0]["attrs"] == {"kind": "timeout", "attempt": 0}
+
+
+class TestDeterminism:
+    def test_seq_is_dense_and_orders_rows(self):
+        tracer = trace.enable()
+        for i in range(5):
+            with trace.span(f"wm.s{i}"):
+                pass
+        rows = tracer.rows()
+        assert [r["seq"] for r in rows] == list(range(5))
+        assert [r["name"] for r in rows] == [f"wm.s{i}" for i in range(5)]
+
+    def test_injectable_callable_clock(self):
+        clock = FakeClock()
+        tracer = trace.Tracer(clock=clock)
+        trace.configure(tracer)
+        with trace.span("wm.a"):
+            pass
+        (row,) = tracer.rows()
+        assert (row["t0"], row["t1"]) == (1.0, 2.0)
+
+    def test_now_attribute_clock(self):
+        class Virtual:
+            now = 7.5
+
+        tracer = trace.Tracer(clock=Virtual())
+        trace.configure(tracer)
+        with trace.span("wm.a"):
+            pass
+        (row,) = tracer.rows()
+        assert row["t0"] == row["t1"] == 7.5
+        assert row["dur"] == 0.0
+
+    def test_identical_runs_produce_identical_rows(self):
+        def run():
+            tracer = trace.Tracer(clock=FakeClock())
+            trace.configure(tracer)
+            with trace.span("wm.round", round=0):
+                with trace.span("store.write", key="k"):
+                    trace.event("retry", kind="timeout")
+            trace.disable()
+            return tracer.rows()
+
+        assert run() == run()
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(TypeError):
+            trace.Tracer(clock=object())
+
+
+class TestRingBuffer:
+    def test_drop_oldest_beyond_capacity(self):
+        tracer = trace.Tracer(capacity=3)
+        trace.configure(tracer)
+        for i in range(5):
+            with trace.span(f"wm.s{i}"):
+                pass
+        rows = tracer.rows()
+        assert len(rows) == 3
+        assert tracer.dropped == 2
+        assert [r["name"] for r in rows] == ["wm.s2", "wm.s3", "wm.s4"]
+
+    def test_reset_clears_finished_and_drop_count(self):
+        tracer = trace.Tracer(capacity=2)
+        trace.configure(tracer)
+        for i in range(4):
+            with trace.span("wm.s"):
+                pass
+        tracer.reset()
+        assert tracer.rows() == []
+        assert tracer.dropped == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            trace.Tracer(capacity=0)
+
+
+class TestCrossThread:
+    def test_wrap_propagates_parent_into_worker_thread(self):
+        tracer = trace.enable()
+        with trace.span("wm.createsim") as parent:
+
+            def job():
+                with trace.span("store.write"):
+                    pass
+
+            t = threading.Thread(target=trace.wrap(job))
+            t.start()
+            t.join()
+        rows = {r["name"]: r for r in tracer.rows()}
+        assert rows["store.write"]["parent"] == parent.span_id
+        assert rows["store.write"]["thread"] != rows["wm.createsim"]["thread"]
+
+    def test_unwrapped_thread_spans_are_roots(self):
+        tracer = trace.enable()
+        with trace.span("wm.createsim"):
+
+            def job():
+                with trace.span("store.write"):
+                    pass
+
+            t = threading.Thread(target=job)
+            t.start()
+            t.join()
+        rows = {r["name"]: r for r in tracer.rows()}
+        assert rows["store.write"]["parent"] is None
+
+    def test_wrap_installs_and_restores_inherited_parent(self):
+        tracer = trace.enable()
+        with trace.span("wm.a") as a:
+            wrapped = tracer.wrap(lambda: tracer.current_id())
+        # Outside any span the wrapped call sees a as the ambient parent,
+        # and the ambient state is restored afterwards.
+        assert tracer.current_id() is None
+        assert wrapped() == a.span_id
+        assert tracer.current_id() is None
+
+    def test_open_span_wins_over_inherited_parent(self):
+        tracer = trace.enable()
+        with trace.span("wm.a") as a:
+            wrapped = tracer.wrap(lambda: tracer.current_id())
+        with trace.span("wm.b") as b:
+            assert wrapped() == b.span_id  # the thread's own stack wins
+
+    def test_thread_indices_are_dense_in_first_span_order(self):
+        tracer = trace.enable()
+        with trace.span("wm.main"):
+            pass
+
+        barrier = threading.Barrier(3)
+
+        def job(i):
+            barrier.wait()  # all three alive at once: distinct idents
+            with trace.span(f"wm.w{i}"):
+                pass
+
+        threads = [threading.Thread(target=job, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        indices = {r["thread"] for r in tracer.rows()}
+        assert indices == {0, 1, 2, 3}
+
+
+class TestExportRoundtrip:
+    def test_jsonl_roundtrip(self, tmp_path):
+        tracer = trace.enable()
+        with trace.span("wm.round", round=1):
+            with trace.span("store.write", key="k"):
+                trace.event("retry", kind="timeout")
+        path = str(tmp_path / "t.jsonl")
+        n = tracer.export_jsonl(path)
+        assert n == 2
+        rows = trace.load_trace(path)
+        assert rows == tracer.rows()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                json.loads(line)  # every line is standalone JSON
+
+    def test_load_trace_reorders_by_seq(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rows = [
+            {"seq": 1, "span": 1, "parent": None, "name": "b", "stage": "b",
+             "thread": 0, "t0": 0.0, "t1": 1.0, "dur": 1.0, "attrs": {}, "events": []},
+            {"seq": 0, "span": 0, "parent": None, "name": "a", "stage": "a",
+             "thread": 0, "t0": 0.0, "t1": 1.0, "dur": 1.0, "attrs": {}, "events": []},
+        ]
+        path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+        loaded = trace.load_trace(str(path))
+        assert [r["name"] for r in loaded] == ["a", "b"]
+
+
+def _row(span, name, t0, t1, parent=None, thread=0, events=()):
+    return {
+        "seq": span, "span": span, "parent": parent, "name": name,
+        "stage": name.split(".", 1)[0], "thread": thread,
+        "t0": t0, "t1": t1, "dur": t1 - t0, "attrs": {},
+        "events": [{"name": e, "t": t0, "attrs": {}} for e in events],
+    }
+
+
+class TestAnalysis:
+    def test_stage_breakdown_self_time_subtracts_same_thread_children(self):
+        rows = [
+            _row(0, "wm.round", 0.0, 10.0),
+            _row(1, "store.write", 1.0, 4.0, parent=0, thread=0),
+            _row(2, "wm.cg_sim", 5.0, 9.0, parent=0, thread=1),  # other thread
+        ]
+        stages = trace.stage_breakdown(rows)
+        assert stages["wm"]["count"] == 2
+        # wm.round self = 10 - 3 (same-thread store child); cg_sim overlaps
+        # concurrently on another thread so it is not subtracted.
+        assert stages["wm"]["self_ms"] == pytest.approx(7000.0 + 4000.0)
+        assert stages["store"]["total_ms"] == pytest.approx(3000.0)
+
+    def test_self_time_clamped_at_zero(self):
+        rows = [
+            _row(0, "wm.round", 0.0, 1.0),
+            _row(1, "store.write", 0.0, 2.0, parent=0, thread=0),
+        ]
+        stages = trace.stage_breakdown(rows)
+        assert stages["wm"]["self_ms"] == 0.0
+
+    def test_name_breakdown_and_event_counts(self):
+        rows = [
+            _row(0, "store.read", 0.0, 1.0, events=("retry", "retry")),
+            _row(1, "store.read", 1.0, 3.0, events=("exhausted",)),
+        ]
+        names = trace.name_breakdown(rows)
+        assert names["store.read"]["count"] == 2
+        assert names["store.read"]["mean_ms"] == pytest.approx(1500.0)
+        assert names["store.read"]["max_ms"] == pytest.approx(2000.0)
+        assert trace.event_counts(rows) == {"retry": 2, "exhausted": 1}
+
+    def test_critical_path_follows_heaviest_children(self):
+        rows = [
+            _row(0, "wm.round", 0.0, 10.0),
+            _row(1, "schedule.manage", 0.0, 2.0, parent=0),
+            _row(2, "wm.cg_sim", 2.0, 9.0, parent=0),
+            _row(3, "store.write", 3.0, 4.0, parent=2),
+        ]
+        path = [r["name"] for r in trace.critical_path(rows)]
+        assert path == ["wm.round", "wm.cg_sim", "store.write"]
+
+    def test_critical_path_treats_orphans_as_roots(self):
+        rows = [_row(5, "store.write", 0.0, 1.0, parent=999)]
+        path = trace.critical_path(rows)
+        assert [r["name"] for r in path] == ["store.write"]
+        assert trace.critical_path([]) == []
+
+    def test_concurrency_series_counts_overlap(self):
+        rows = [
+            _row(0, "wm.cg_sim", 0.0, 10.0),
+            _row(1, "wm.cg_sim", 0.0, 5.0),
+            _row(2, "wm.backmap", 0.0, 10.0),  # filtered out by prefix
+        ]
+        series = trace.concurrency_series(rows, prefix="wm.cg_sim", nbins=10)
+        assert len(series) == 10
+        assert series[0]["active"] == 2.0
+        assert series[-1]["active"] == 1.0
+        assert trace.concurrency_series(rows, prefix="nope") == []
+        with pytest.raises(ValueError):
+            trace.concurrency_series(rows, nbins=0)
+
+    def test_render_breakdown_sections(self):
+        rows = [
+            _row(0, "wm.round", 0.0, 10.0),
+            _row(1, "store.write", 1.0, 4.0, parent=0, events=("retry",)),
+        ]
+        text = trace.render_breakdown(rows)
+        for token in ("per-stage latency", "per-span-name latency",
+                      "span events", "critical path", "wm.round", "retry"):
+            assert token in text
+        assert trace.render_breakdown([]) == "trace is empty: no finished spans"
+
+    def test_tracer_summary_feeds_telemetry(self):
+        tracer = trace.enable()
+        with trace.span("wm.round"):
+            with trace.span("store.write"):
+                pass
+        summary = tracer.summary()
+        assert summary["spans"] == 2
+        assert summary["dropped"] == 0
+        assert set(summary["stages"]) == {"wm", "store"}
+        assert summary["stages"]["wm"]["count"] == 1
