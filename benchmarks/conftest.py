@@ -8,14 +8,16 @@ the paper-vs-measured comparison for each.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 import pytest
 
 from repro.core.campaign import CampaignConfig, CampaignSimulator
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def report(name: str, lines: Iterable[str]) -> None:
@@ -25,6 +27,27 @@ def report(name: str, lines: Iterable[str]) -> None:
     print(f"\n[{name}]\n{text}")
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
         fh.write(text + "\n")
+
+
+def record_json(filename: str, key: str, payload: Dict[str, Any]) -> None:
+    """Merge one benchmark's machine-readable results into a repo-root
+    JSON ledger (e.g. ``BENCH_sampler.json``) under ``key``.
+
+    Merge-on-write so independent benchmarks (run in any order, or one
+    at a time) never clobber each other's sections.
+    """
+    path = os.path.join(REPO_ROOT, filename)
+    data: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (ValueError, OSError):
+            data = {}
+    data[key] = payload
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 @pytest.fixture(scope="session")

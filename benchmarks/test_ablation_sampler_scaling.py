@@ -13,14 +13,16 @@ FPS cost grows with the candidate mass.
 import time
 
 import numpy as np
-from conftest import report
+from conftest import record_json, report
 
+from repro.sampling.ann import KDTreeIndex
 from repro.sampling.binned import BinnedSampler, BinSpec
 from repro.sampling.fps import FarthestPointSampler
 from repro.sampling.points import Point
 
 FPS_COUNTS = [2_000, 8_000, 35_000]
 BINNED_COUNTS = [35_000, 200_000, 1_000_000]
+BENCH_JSON = "BENCH_sampler.json"
 
 
 def _fps_select_cost(n, rng):
@@ -68,6 +70,11 @@ def test_ablation_sampler_capacity(benchmark):
                  f"{ratio:.0f}x more candidates for the binned sampler "
                  "(paper: ~165x, 9M vs 35k)")
     report("ablation_sampler_scaling", lines)
+    record_json(BENCH_JSON, "capacity_sweep", {
+        "fps_select_ms": {str(n): t * 1e3 for n, t in fps},
+        "binned_select_ms": {str(n): t * 1e3 for n, t in binned},
+        "capacity_ratio": ratio,
+    })
 
     # FPS select cost grows with candidates; binned stays (near) flat.
     fps_growth = fps[-1][1] / max(fps[0][1], 1e-9)
@@ -104,5 +111,128 @@ def test_ablation_add_cost_is_flat_for_both(benchmark):
         f"per-candidate ingest: fps {per_add['fps']*1e6:.1f} us, "
         f"binned {per_add['binned']*1e6:.1f} us",
     ])
+    record_json(BENCH_JSON, "ingest_per_candidate_us", {
+        "fps": per_add["fps"] * 1e6,
+        "binned": per_add["binned"] * 1e6,
+    })
     assert per_add["fps"] < 1e-3
     assert per_add["binned"] < 1e-3
+
+
+def _seed_reference_pick_seconds(sampler, queue="default"):
+    """One pick under the seed semantics, measured without mutating the
+    sampler: stack every queued candidate into a fresh matrix, rebuild a
+    KD-tree over the selected set, query all candidates, full descending
+    argsort. This is exactly the per-pick work the pre-incremental
+    implementation performed."""
+    t0 = time.perf_counter()
+    pts = sampler.queues[queue].points()
+    cand = np.vstack([p.coords for p in pts])
+    ref = KDTreeIndex()
+    ref.build(sampler.selected_coords())
+    dists = ref.nearest_distance(cand)
+    order = np.argsort(-dists, kind="stable")
+    _ = pts[int(order[0])]
+    return time.perf_counter() - t0
+
+
+def _loaded_fps(rng, n=35_000, nselected=200):
+    sampler = FarthestPointSampler(dim=9, queue_cap=n)
+    sampler.seed_selected(
+        [Point(id=f"sel{i}", coords=rng.random(9)) for i in range(nselected)]
+    )
+    coords = rng.random((n, 9))
+    sampler.add_batch([Point(id=f"p{i}", coords=coords[i]) for i in range(n)])
+    return sampler
+
+
+def test_ablation_incremental_pick_vs_seed_reference(benchmark):
+    """Tentpole acceptance: a warm incremental pick at the paper's 35k
+    queue cap is >=10x cheaper than the seed's rebuild-and-rerank pick,
+    and batched select(k=64) amortizes >=5x below a cold single pick."""
+    rng = np.random.default_rng(7)
+
+    def sweep():
+        s = _loaded_fps(rng)
+        seed_cost = _seed_reference_pick_seconds(s)
+        t0 = time.perf_counter()
+        s.select(1)  # prices all 35k pending rows once
+        cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        s.select(1)  # one delta fold + argmax
+        warm = time.perf_counter() - t0
+        s2 = _loaded_fps(rng)
+        t0 = time.perf_counter()
+        s2.select(1)
+        cold2 = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        s2.select(64)
+        batch64 = time.perf_counter() - t0
+        return seed_cost, cold, warm, cold2, batch64
+
+    seed_cost, cold, warm, cold2, batch64 = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    amortized = batch64 / 64
+    warm_speedup = seed_cost / warm
+    batch_speedup = cold2 / amortized
+    report("ablation_incremental_pick", [
+        f"35,000 candidates, 200 selected (9-D):",
+        f"  seed-reference pick (vstack + rebuild + rerank): {seed_cost*1e3:8.2f} ms",
+        f"  incremental cold pick (prices all pending):      {cold*1e3:8.2f} ms",
+        f"  incremental warm pick (delta fold + argmax):     {warm*1e3:8.2f} ms",
+        f"  select(64) amortized per pick:                   {amortized*1e3:8.2f} ms",
+        f"warm pick speedup vs seed reference: {warm_speedup:.1f}x (need >=10x)",
+        f"batched pick speedup vs cold pick:   {batch_speedup:.1f}x (need >=5x)",
+    ])
+    record_json(BENCH_JSON, "incremental_pick_35k", {
+        "seed_reference_pick_ms": seed_cost * 1e3,
+        "cold_select1_ms": cold * 1e3,
+        "warm_select1_ms": warm * 1e3,
+        "select64_amortized_ms": amortized * 1e3,
+        "warm_speedup_vs_seed": warm_speedup,
+        "batch_speedup_vs_cold_single": batch_speedup,
+    })
+    assert warm_speedup >= 10.0
+    assert batch_speedup >= 5.0
+
+
+def test_ablation_binned_batch_ingest(benchmark):
+    """add_batch (array form) must beat the per-point loop by >=5x per
+    candidate — the difference between minutes and seconds at the
+    paper's 9M-candidate scale."""
+    rng = np.random.default_rng(8)
+
+    def sweep():
+        specs = [BinSpec(0, 1, 10)] * 3
+        coords_small = rng.random((200_000, 3))
+        s1 = BinnedSampler(specs)
+        t0 = time.perf_counter()
+        for i in range(200_000):
+            s1.add(Point(id=f"p{i}", coords=coords_small[i]))
+        per_point = (time.perf_counter() - t0) / 200_000
+        coords_big = rng.random((1_000_000, 3))
+        ids = [f"q{i}" for i in range(1_000_000)]
+        s2 = BinnedSampler(specs)
+        t0 = time.perf_counter()
+        accepted = s2.add_batch(ids=ids, coords=coords_big)
+        batch_total = time.perf_counter() - t0
+        assert accepted == 1_000_000
+        return per_point, batch_total
+
+    per_point, batch_total = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    batch_rate = batch_total / 1_000_000
+    speedup = per_point / batch_rate
+    report("ablation_binned_batch_ingest", [
+        f"per-point add loop:        {per_point*1e6:7.2f} us/candidate (200k sample)",
+        f"add_batch (1M, array form): {batch_rate*1e6:7.2f} us/candidate "
+        f"({batch_total:.2f} s total)",
+        f"batch ingest speedup: {speedup:.1f}x (need >=5x)",
+    ])
+    record_json(BENCH_JSON, "binned_batch_ingest_1M", {
+        "per_point_us": per_point * 1e6,
+        "batch_us_per_candidate": batch_rate * 1e6,
+        "batch_total_s": batch_total,
+        "speedup": speedup,
+    })
+    assert speedup >= 5.0

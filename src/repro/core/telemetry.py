@@ -38,7 +38,10 @@ class TelemetryReport:
     - ``feedback``: one row per feedback manager — ``iterations`` and
       ``total_items`` (counts), ``mean_seconds`` (seconds/iteration).
     - ``selectors``: sampler occupancy — candidate/selected counts plus
-      ``frame_bin_coverage`` (fraction in [0, 1]).
+      ``frame_bin_coverage`` (fraction in [0, 1]), ingest-dedup counts
+      (``patch_duplicates`` / ``frame_duplicates``), and the
+      patch-selector's incremental-engine counters (``patch_engine``:
+      index adds/builds, distance evaluations, cache fold statistics).
     - ``transport``: wire-level counters (retries, timeouts, reconnects,
       latency percentiles in ms) when the store is networked; empty for
       in-process backends.
@@ -99,7 +102,10 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         "patch_selected": wm.patch_selector.nselected(),
         "patch_queue_sizes": wm.patch_selector.queue_sizes(),
         "patch_dropped": wm.patch_selector.dropped(),
+        "patch_duplicates": wm.patch_selector.duplicates(),
+        "patch_engine": wm.patch_selector.engine_stats(),
         "frame_candidates": wm.frame_selector.ncandidates(),
+        "frame_duplicates": wm.frame_selector.duplicates,
         "frame_bin_coverage": wm.frame_selector.coverage(),
     }
     tstats = getattr(wm.store, "transport_stats", None)
@@ -165,6 +171,15 @@ def render_report(report: TelemetryReport) -> str:
         f"{sel['frame_candidates']} frame candidates, "
         f"bin coverage {sel['frame_bin_coverage']:.1%}"
     )
+    dedup = sel.get("patch_duplicates", 0) + sel.get("frame_duplicates", 0)
+    eng = sel.get("patch_engine", {})
+    if dedup or eng:
+        lines.append(
+            f"  selector engine: {eng.get('adds', 0)} index adds, "
+            f"{eng.get('builds', 0)} builds, "
+            f"{eng.get('distance_evals', 0)} distance evals, "
+            f"{dedup} duplicate ingests deduped"
+        )
     lk = report.lock_stats
     lines.append(
         f"  locking: {lk['acquisitions']} acquisitions, "

@@ -197,11 +197,19 @@ class WorkflowManager:
             patches = self.patch_creator.create(snapshot)
             if patches:
                 encodings = self.encoder.encode(np.stack([p.flat() for p in patches]))
+                # Encoding already ran in batch; feed the selector in batch
+                # too — grouped per queue, one add_batch per group, under a
+                # single lock acquisition.
+                by_queue: Dict[str, List[Point]] = {}
+                for patch, z in zip(patches, encodings):
+                    queue = self.queue_router(patch)
+                    by_queue.setdefault(queue, []).append(
+                        Point(id=patch.patch_id, coords=z)
+                    )
+                    self._patch_by_id[patch.patch_id] = patch
                 with self._selector_guard.locked():
-                    for patch, z in zip(patches, encodings):
-                        queue = self.queue_router(patch)
-                        self.patch_selector.add(Point(id=patch.patch_id, coords=z), queue=queue)
-                        self._patch_by_id[patch.patch_id] = patch
+                    for queue, points in by_queue.items():
+                        self.patch_selector.add_batch(points, queue=queue)
             if sp:
                 sp.set(patches=len(patches))
         self.counters["snapshots"] += 1

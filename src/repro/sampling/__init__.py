@@ -19,7 +19,13 @@ Both samplers record a replayable selection history (§4.4 resilience).
 
 from repro.sampling.points import Point, PointStore
 from repro.sampling.queues import CandidateQueue, QueueFullPolicy
-from repro.sampling.ann import NeighborIndex, ExactIndex, KDTreeIndex, ProjectionIndex
+from repro.sampling.ann import (
+    IndexStats,
+    NeighborIndex,
+    ExactIndex,
+    KDTreeIndex,
+    ProjectionIndex,
+)
 from repro.sampling.fps import FarthestPointSampler
 from repro.sampling.binned import BinnedSampler, BinSpec
 from repro.sampling.base import Sampler, SelectionEvent
@@ -29,6 +35,7 @@ __all__ = [
     "PointStore",
     "CandidateQueue",
     "QueueFullPolicy",
+    "IndexStats",
     "NeighborIndex",
     "ExactIndex",
     "KDTreeIndex",

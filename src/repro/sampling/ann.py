@@ -13,32 +13,149 @@ not available offline, so three interchangeable backends stand in:
   FAISS's IVF indexes do.
 
 All backends answer "distance from each query to its nearest indexed
-point", which is the only query farthest-point sampling needs.
+point", which is the only query farthest-point sampling needs — and all
+support **incremental insertion** (:meth:`NeighborIndex.add`) so the
+selection loop never pays a full rebuild per pick:
+
+- ``ExactIndex`` appends into a geometrically-grown contiguous buffer;
+- ``KDTreeIndex`` buffers pending points and answers queries with a
+  brute-force overlay, folding the buffer into a fresh tree only when
+  it outgrows the tree (amortized, never once-per-pick);
+- ``ProjectionIndex`` inserts straight into the nearest coarse cell
+  once its anchor set is established (it retrains — resamples anchors —
+  only while it holds fewer points than ``ncells``).
+
+:meth:`NeighborIndex.delta_distance` is the incremental counterpart of
+:meth:`~NeighborIndex.nearest_distance`: the distance from each query
+to the nearest of a *few newly added* points only, under the same
+visibility rule the backend uses for full queries (for the projection
+index a new point is invisible to queries that would not probe its
+cell). Each backend uses the same floating-point formula for both
+paths, so folding deltas with an elementwise ``min`` reproduces the
+full query exactly — that is what makes the sampler's incremental
+recurrence equivalent to recomputing from scratch.
+
+``epoch`` counts semantic rebuilds: it bumps whenever previously
+returned distances may no longer be what the index would answer now
+(an explicit :meth:`~NeighborIndex.build`, or a projection-anchor
+retrain). Callers caching distances must recompute when it changes.
+The KD-tree's internal buffer flush does *not* bump it — the indexed
+point set and the answers are unchanged.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import List, Optional
 
 import numpy as np
 from scipy.spatial import cKDTree
 
-__all__ = ["NeighborIndex", "ExactIndex", "KDTreeIndex", "ProjectionIndex"]
+__all__ = ["IndexStats", "NeighborIndex", "ExactIndex", "KDTreeIndex",
+           "ProjectionIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Operation counters for one index (perf regression guards).
+
+    ``distance_evals`` counts candidate–point pairs evaluated by the
+    brute-force code paths (exact matrices, KD-tree overlays, probed
+    projection cells); pairs visited inside scipy's tree traversal are
+    not observable and are excluded. ``builds`` counts semantic
+    (re)builds, ``flushes`` the KD-tree's answer-preserving buffer
+    folds, ``adds`` incrementally inserted points, ``queries`` answered
+    query rows.
+    """
+
+    builds: int = 0
+    flushes: int = 0
+    adds: int = 0
+    queries: int = 0
+    distance_evals: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _d2_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Squared L2 distances, shape (nq, np), via the expansion
+    ``||q - p||^2 = ||q||^2 - 2 q.p + ||p||^2`` (no (nq, np, dim)
+    difference tensor is ever materialized)."""
+    q2 = np.einsum("ij,ij->i", queries, queries)[:, None]
+    p2 = np.einsum("ij,ij->i", points, points)[None, :]
+    d2 = q2 - 2.0 * queries @ points.T + p2
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+class _GrowingMatrix:
+    """Contiguous (n, dim) float64 rows with amortized O(1) append."""
+
+    __slots__ = ("_buf", "n")
+
+    def __init__(self, dim: int, capacity: int = 64) -> None:
+        self._buf = np.empty((max(capacity, 1), dim), dtype=np.float64)
+        self.n = 0
+
+    @property
+    def dim(self) -> int:
+        return self._buf.shape[1]
+
+    def append(self, rows: np.ndarray) -> None:
+        k = rows.shape[0]
+        cap = self._buf.shape[0]
+        if self.n + k > cap:
+            new_cap = max(2 * cap, self.n + k)
+            grown = np.empty((new_cap, self.dim), dtype=np.float64)
+            grown[: self.n] = self._buf[: self.n]
+            self._buf = grown
+        self._buf[self.n : self.n + k] = rows
+        self.n += k
+
+    def view(self) -> np.ndarray:
+        return self._buf[: self.n]
 
 
 class NeighborIndex(abc.ABC):
-    """Index over a fixed set of points; queried for nearest distances."""
+    """Index over a set of points; queried for nearest distances.
+
+    Supports both bulk :meth:`build` and incremental :meth:`add`;
+    subclasses maintain :attr:`stats` counters and bump :attr:`epoch`
+    whenever answers to past queries may have changed for any reason
+    other than monotone insertion.
+    """
+
+    def __init__(self) -> None:
+        self.stats = IndexStats()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Bumps on semantic rebuilds (see module docstring)."""
+        return self._epoch
 
     @abc.abstractmethod
     def build(self, coords: np.ndarray) -> None:
         """(Re)build the index over ``coords`` of shape (n, dim)."""
 
     @abc.abstractmethod
+    def add(self, coords: np.ndarray) -> None:
+        """Insert rows of ``coords`` ((k, dim) or (dim,)) incrementally."""
+
+    @abc.abstractmethod
     def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
         """L2 distance from each query row to its nearest indexed point.
 
         Returns +inf for every query when the index is empty.
+        """
+
+    @abc.abstractmethod
+    def delta_distance(self, queries: np.ndarray, new_coords: np.ndarray) -> np.ndarray:
+        """Distance from each query to the nearest of ``new_coords`` only,
+        under this backend's visibility rule (see module docstring).
+        ``new_coords`` must already have been :meth:`add`-ed.
         """
 
     @property
@@ -55,50 +172,120 @@ class ExactIndex(NeighborIndex):
     """Brute force: one broadcasted distance matrix per query batch."""
 
     def __init__(self) -> None:
-        self._coords: Optional[np.ndarray] = None
+        super().__init__()
+        self._coords: Optional[_GrowingMatrix] = None
 
     def build(self, coords: np.ndarray) -> None:
-        self._coords = np.asarray(coords, dtype=np.float64)
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        self._coords = _GrowingMatrix(coords.shape[1], capacity=max(coords.shape[0], 64))
+        if coords.shape[0]:
+            self._coords.append(coords)
+        self.stats.builds += 1
+        self._epoch += 1
+
+    def add(self, coords: np.ndarray) -> None:
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        if self._coords is None:
+            self._coords = _GrowingMatrix(coords.shape[1])
+        self._coords.append(coords)
+        self.stats.adds += coords.shape[0]
 
     @property
     def size(self) -> int:
-        return 0 if self._coords is None else self._coords.shape[0]
+        return 0 if self._coords is None else self._coords.n
 
     def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(queries)
+        self.stats.queries += queries.shape[0]
         if self.size == 0:
             return _empty_result(queries)
-        # ||q - c||^2 = ||q||^2 - 2 q.c + ||c||^2, vectorized (no copies of
-        # the full pairwise difference tensor).
-        q2 = np.einsum("ij,ij->i", queries, queries)[:, None]
-        c2 = np.einsum("ij,ij->i", self._coords, self._coords)[None, :]
-        d2 = q2 - 2.0 * queries @ self._coords.T + c2
-        np.maximum(d2, 0.0, out=d2)
-        return np.sqrt(d2.min(axis=1))
+        pts = self._coords.view()
+        self.stats.distance_evals += queries.shape[0] * pts.shape[0]
+        return np.sqrt(_d2_matrix(queries, pts).min(axis=1))
+
+    def delta_distance(self, queries: np.ndarray, new_coords: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        new_coords = np.atleast_2d(np.asarray(new_coords, dtype=np.float64))
+        if new_coords.shape[0] == 0:
+            return _empty_result(queries)
+        self.stats.distance_evals += queries.shape[0] * new_coords.shape[0]
+        return np.sqrt(_d2_matrix(queries, new_coords).min(axis=1))
 
 
 class KDTreeIndex(NeighborIndex):
-    """scipy cKDTree backend — exact, sublinear queries at low dim."""
+    """scipy cKDTree backend — exact, sublinear queries at low dim.
 
-    def __init__(self) -> None:
+    Incremental inserts land in a pending buffer answered by a
+    brute-force overlay; the buffer folds into a fresh tree only when
+    it outgrows ``max(pending_cap, tree size)``, so rebuild cost is
+    amortized over many inserts instead of paid per pick.
+    """
+
+    def __init__(self, pending_cap: int = 64) -> None:
+        super().__init__()
+        if pending_cap < 1:
+            raise ValueError("pending_cap must be >= 1")
+        self.pending_cap = pending_cap
         self._tree: Optional[cKDTree] = None
-        self._n = 0
+        self._base: Optional[np.ndarray] = None
+        self._pending: Optional[_GrowingMatrix] = None
 
     def build(self, coords: np.ndarray) -> None:
-        coords = np.asarray(coords, dtype=np.float64)
-        self._n = coords.shape[0]
-        self._tree = cKDTree(coords) if self._n else None
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        self._base = coords.copy() if coords.shape[0] else None
+        self._tree = cKDTree(self._base) if self._base is not None else None
+        self._pending = None
+        self.stats.builds += 1
+        self._epoch += 1
+
+    def add(self, coords: np.ndarray) -> None:
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        if self._pending is None:
+            self._pending = _GrowingMatrix(coords.shape[1])
+        self._pending.append(coords)
+        self.stats.adds += coords.shape[0]
+        base_n = 0 if self._base is None else self._base.shape[0]
+        if self._pending.n >= max(self.pending_cap, base_n):
+            self._flush()
+
+    def _flush(self) -> None:
+        """Fold pending points into the tree (answers unchanged — the
+        indexed set is identical, so the epoch does not bump)."""
+        pend = self._pending.view()
+        self._base = pend.copy() if self._base is None else np.vstack([self._base, pend])
+        self._tree = cKDTree(self._base)
+        self._pending = None
+        self.stats.flushes += 1
 
     @property
     def size(self) -> int:
-        return self._n
+        n = 0 if self._base is None else self._base.shape[0]
+        return n + (0 if self._pending is None else self._pending.n)
 
     def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(queries)
-        if self._tree is None:
+        self.stats.queries += queries.shape[0]
+        if self.size == 0:
             return _empty_result(queries)
-        dists, _ = self._tree.query(queries, k=1)
-        return np.atleast_1d(dists)
+        if self._tree is not None:
+            dists, _ = self._tree.query(queries, k=1)
+            dists = np.atleast_1d(dists)
+        else:
+            dists = _empty_result(queries)
+        if self._pending is not None and self._pending.n:
+            pend = self._pending.view()
+            self.stats.distance_evals += queries.shape[0] * pend.shape[0]
+            overlay = np.sqrt(_d2_matrix(queries, pend).min(axis=1))
+            dists = np.minimum(dists, overlay)
+        return dists
+
+    def delta_distance(self, queries: np.ndarray, new_coords: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        new_coords = np.atleast_2d(np.asarray(new_coords, dtype=np.float64))
+        if new_coords.shape[0] == 0:
+            return _empty_result(queries)
+        self.stats.distance_evals += queries.shape[0] * new_coords.shape[0]
+        return np.sqrt(_d2_matrix(queries, new_coords).min(axis=1))
 
 
 class ProjectionIndex(NeighborIndex):
@@ -107,62 +294,111 @@ class ProjectionIndex(NeighborIndex):
     Points are assigned to ``ncells`` coarse cells by nearest random
     anchor; a query searches only its ``nprobe`` closest cells. With
     ``nprobe == ncells`` the result is exact.
+
+    Incremental :meth:`add` inserts into the nearest existing cell; the
+    anchor set retrains (a semantic rebuild, bumping :attr:`epoch`)
+    only while the index holds fewer points than ``ncells``.
     """
 
     def __init__(self, ncells: int = 16, nprobe: int = 2, seed: int = 0) -> None:
+        super().__init__()
         if ncells < 1 or not 1 <= nprobe:
             raise ValueError("ncells >= 1 and nprobe >= 1 required")
         self.ncells = ncells
         self.nprobe = min(nprobe, ncells)
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
-        self._coords: Optional[np.ndarray] = None
+        self._coords: Optional[_GrowingMatrix] = None
         self._anchors: Optional[np.ndarray] = None
-        self._cell_members: list = []
+        self._cell_members: List[List[int]] = []
 
     def build(self, coords: np.ndarray) -> None:
-        coords = np.asarray(coords, dtype=np.float64)
-        self._coords = coords
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
         n = coords.shape[0]
+        self._coords = _GrowingMatrix(coords.shape[1], capacity=max(n, 64))
+        self.stats.builds += 1
+        self._epoch += 1
         if n == 0:
             self._anchors = None
             self._cell_members = []
             return
+        self._coords.append(coords)
         ncells = min(self.ncells, n)
         anchor_rows = self._rng.choice(n, size=ncells, replace=False)
-        self._anchors = coords[anchor_rows]
+        self._anchors = coords[anchor_rows].copy()
         assign = self._nearest_anchor(coords)
-        self._cell_members = [np.nonzero(assign == c)[0] for c in range(ncells)]
+        self._cell_members = [list(np.nonzero(assign == c)[0]) for c in range(ncells)]
+
+    def add(self, coords: np.ndarray) -> None:
+        coords = np.atleast_2d(np.asarray(coords, dtype=np.float64))
+        k = coords.shape[0]
+        if k == 0:
+            return
+        self.stats.adds += k
+        nanchors = 0 if self._anchors is None else self._anchors.shape[0]
+        if self._coords is None or nanchors < min(self.ncells, self._coords.n + k):
+            # Anchor set still undersized: retrain over everything (cheap —
+            # only happens while size < ncells). build() bumps the epoch
+            # and re-counts its own build, so callers' caches invalidate.
+            existing = self._coords.view() if self._coords is not None else np.empty((0, coords.shape[1]))
+            self.build(np.vstack([existing, coords]) if existing.shape[0] else coords)
+            return
+        start = self._coords.n
+        self._coords.append(coords)
+        assign = self._nearest_anchor(coords)
+        for i, c in enumerate(assign):
+            self._cell_members[int(c)].append(start + i)
+
+    # --- shared anchor math (one home for the distance computation) ----------
+
+    def _anchor_d2(self, points: np.ndarray) -> np.ndarray:
+        """Squared distances from each point to every anchor."""
+        return _d2_matrix(points, self._anchors)
 
     def _nearest_anchor(self, points: np.ndarray) -> np.ndarray:
-        d2 = (
-            np.einsum("ij,ij->i", points, points)[:, None]
-            - 2.0 * points @ self._anchors.T
-            + np.einsum("ij,ij->i", self._anchors, self._anchors)[None, :]
-        )
-        return d2.argmin(axis=1)
+        return self._anchor_d2(points).argmin(axis=1)
 
-    def _anchor_order(self, points: np.ndarray) -> np.ndarray:
-        d2 = (
-            np.einsum("ij,ij->i", points, points)[:, None]
-            - 2.0 * points @ self._anchors.T
-            + np.einsum("ij,ij->i", self._anchors, self._anchors)[None, :]
-        )
-        return d2.argsort(axis=1)
+    def _probe_cells(self, points: np.ndarray) -> np.ndarray:
+        """The ``nprobe`` closest cells per point, shape (n, nprobe)."""
+        return self._anchor_d2(points).argsort(axis=1, kind="stable")[:, : self.nprobe]
 
     @property
     def size(self) -> int:
-        return 0 if self._coords is None else self._coords.shape[0]
+        return 0 if self._coords is None else self._coords.n
 
     def nearest_distance(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(queries)
+        self.stats.queries += queries.shape[0]
         if self.size == 0 or self._anchors is None:
             return _empty_result(queries)
-        order = self._anchor_order(queries)[:, : self.nprobe]
-        out = np.full(queries.shape[0], np.inf)
-        for qi in range(queries.shape[0]):
-            rows = np.concatenate([self._cell_members[c] for c in order[qi]])
-            if rows.size == 0:
+        coords = self._coords.view()
+        probed = self._probe_cells(queries)
+        out2 = np.full(queries.shape[0], np.inf)
+        # Vectorized multi-probe: one distance block per *cell* (ncells is
+        # a small constant), not one Python iteration per query.
+        for c, members in enumerate(self._cell_members):
+            if not members:
                 continue
-            diffs = self._coords[rows] - queries[qi]
-            out[qi] = np.sqrt(np.einsum("ij,ij->i", diffs, diffs).min())
-        return out
+            qsel = np.nonzero((probed == c).any(axis=1))[0]
+            if qsel.size == 0:
+                continue
+            rows = np.asarray(members, dtype=np.int64)
+            self.stats.distance_evals += qsel.size * rows.size
+            d2 = _d2_matrix(queries[qsel], coords[rows]).min(axis=1)
+            out2[qsel] = np.minimum(out2[qsel], d2)
+        return np.sqrt(out2, out=out2)
+
+    def delta_distance(self, queries: np.ndarray, new_coords: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(queries)
+        new_coords = np.atleast_2d(np.asarray(new_coords, dtype=np.float64))
+        if new_coords.shape[0] == 0 or self._anchors is None:
+            return _empty_result(queries)
+        self.stats.distance_evals += queries.shape[0] * new_coords.shape[0]
+        d2 = _d2_matrix(queries, new_coords)
+        # A new point is visible to a query only if the query probes the
+        # cell the point was inserted into — same rule as the full query.
+        cells_new = self._nearest_anchor(new_coords)
+        probed = self._probe_cells(queries)
+        visible = (probed[:, :, None] == cells_new[None, None, :]).any(axis=1)
+        d2[~visible] = np.inf
+        return np.sqrt(d2.min(axis=1))

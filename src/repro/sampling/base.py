@@ -60,8 +60,22 @@ class Sampler(abc.ABC):
         """Candidates currently eligible for selection."""
 
     def add_many(self, points: Sequence[Point]) -> None:
+        """Per-point ingest loop; samplers with a vectorized batch path
+        override :meth:`add_batch` instead (this stays as the portable
+        fallback and the reference semantics)."""
         for p in points:
             self.add(p)
+
+    def add_batch(self, points: Sequence[Point]) -> int:
+        """Batch ingest; returns how many candidates were accepted.
+
+        Default implementation delegates to :meth:`add`; concrete
+        samplers override with a vectorized path (one histogram pass,
+        one cache append sweep) that must ingest the same candidates.
+        """
+        before = self.ncandidates()
+        self.add_many(points)
+        return self.ncandidates() - before
 
     def _record(self, now: float, selected: Sequence[Point], detail: str = "") -> None:
         self.history.append(

@@ -12,12 +12,34 @@ Scaling devices from §4.4 Task 2, all reproduced here:
   for them (the "caching scheme to postpone expensive computations");
 - rank updates are one vectorized nearest-neighbour query per queue
   against a pluggable exact/approximate index.
+
+**Why incremental FPS is exact.** A candidate's novelty is
+``min over selected s of d(c, s)``. That minimum satisfies the classic
+farthest-point recurrence: after selecting a new point ``x``,
+
+    novelty'(c) = min(novelty(c), d(c, x))
+
+so the selector keeps, per queue, a contiguous coordinate matrix and a
+cached min-distance-to-selected array, and after each pick folds in
+distances *to the newly selected point only* with an elementwise
+minimum — then picks with a single ``argmax`` (FIFO tie-break on
+arrival order, matching a stable descending sort). Because every
+backend computes the per-pair distance with the same floating-point
+formula on both its full-query and delta paths (see
+:mod:`repro.sampling.ann`), the folded minimum is the *same floats* a
+recompute-from-scratch would produce, and the selected id sequence is
+identical — :meth:`FarthestPointSampler.rank` remains that exact
+recompute path, used for introspection and as the oracle in the
+equivalence tests. Candidates that arrive mid-stream are marked
+pending and priced with one vectorized index query at the next
+selection, so ingest stays O(1). The cost per pick drops from
+O(n·(index rebuild + full rank + sort)) to O(n) amortized.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,8 +54,68 @@ __all__ = ["FarthestPointSampler"]
 DEFAULT_QUEUE = "default"
 
 
+class _QueueCache:
+    """Per-queue novelty cache: contiguous coords + min-dist-to-selected.
+
+    Rows use swap-delete (order is *not* arrival order); ``seq`` holds
+    each candidate's arrival number for the FIFO tie-break. A row whose
+    ``mindist`` is NaN is *pending*: it arrived after the last sync and
+    gets priced by one vectorized index query at the next selection.
+    """
+
+    __slots__ = ("ids", "row_of", "coords", "mindist", "seq", "n",
+                 "synced", "epoch", "next_seq")
+
+    def __init__(self, dim: int, epoch: int, capacity: int = 256) -> None:
+        self.coords = np.empty((capacity, dim), dtype=np.float64)
+        self.mindist = np.empty(capacity, dtype=np.float64)
+        self.seq = np.empty(capacity, dtype=np.int64)
+        self.ids: List[str] = []
+        self.row_of: Dict[str, int] = {}
+        self.n = 0
+        self.synced = 0      # selected points folded into mindist so far
+        self.epoch = epoch   # index epoch mindist was computed under
+        self.next_seq = 0
+
+    def _grow(self, need: int) -> None:
+        cap = self.coords.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(2 * cap, need)
+        for name in ("coords", "mindist", "seq"):
+            old = getattr(self, name)
+            shape = (new_cap,) + old.shape[1:]
+            grown = np.empty(shape, dtype=old.dtype)
+            grown[: self.n] = old[: self.n]
+            setattr(self, name, grown)
+
+    def append(self, point: Point) -> None:
+        self._grow(self.n + 1)
+        row = self.n
+        self.coords[row] = point.coords
+        self.mindist[row] = np.nan  # pending: priced at next selection
+        self.seq[row] = self.next_seq
+        self.next_seq += 1
+        self.ids.append(point.id)
+        self.row_of[point.id] = row
+        self.n += 1
+
+    def remove(self, point_id: str) -> None:
+        row = self.row_of.pop(point_id)
+        last = self.n - 1
+        if row != last:
+            self.coords[row] = self.coords[last]
+            self.mindist[row] = self.mindist[last]
+            self.seq[row] = self.seq[last]
+            moved = self.ids[last]
+            self.ids[row] = moved
+            self.row_of[moved] = row
+        self.ids.pop()
+        self.n -= 1
+
+
 class FarthestPointSampler(Sampler):
-    """Dynamic farthest-point selection with lazy rank updates.
+    """Dynamic farthest-point selection with incremental rank updates.
 
     Parameters
     ----------
@@ -67,21 +149,64 @@ class FarthestPointSampler(Sampler):
             name: CandidateQueue(name, cap=queue_cap, policy=queue_policy) for name in names
         }
         self.index = index if index is not None else KDTreeIndex()
-        self._selected_coords: List[np.ndarray] = []
+        self._caches: Dict[str, _QueueCache] = {
+            name: _QueueCache(dim, self.index.epoch) for name in names
+        }
         self._selected_ids: List[str] = []
+        self._sel_coords = np.empty((256, dim), dtype=np.float64)
+        self._sel_n = 0
         self._index_dirty = False
         self.last_update_seconds = 0.0  # cost of the most recent rank update
+        self.full_recomputes = 0  # cache invalidations paid as full queries
+        self.delta_updates = 0    # incremental recurrence folds
 
     # --- ingest (cheap) ------------------------------------------------------
+
+    def _queue_and_cache(self, queue: str) -> Tuple[CandidateQueue, _QueueCache]:
+        try:
+            return self.queues[queue], self._caches[queue]
+        except KeyError:
+            raise KeyError(f"unknown queue {queue!r}; have {sorted(self.queues)}") from None
+
+    def _ingest(self, q: CandidateQueue, cache: _QueueCache, point: Point) -> bool:
+        evicted = None
+        if q.full and q.policy is QueueFullPolicy.DROP_OLDEST and point.id not in q:
+            evicted = q.oldest()
+        if not q.add(point):
+            return False
+        if evicted is not None:
+            cache.remove(evicted)
+        cache.append(point)
+        return True
 
     def add(self, point: Point, queue: str = DEFAULT_QUEUE) -> None:
         """O(1) ingest into one queue; no ranking happens here."""
         if point.dim != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {point.dim}")
-        try:
-            self.queues[queue].add(point)
-        except KeyError:
-            raise KeyError(f"unknown queue {queue!r}; have {sorted(self.queues)}") from None
+        q, cache = self._queue_and_cache(queue)
+        self._ingest(q, cache, point)
+
+    def add_batch(self, points: Sequence[Point], queue: str = DEFAULT_QUEUE) -> int:
+        """Ingest a batch into one queue; returns how many were accepted
+        (duplicates and DROP_NEW refusals are not)."""
+        q, cache = self._queue_and_cache(queue)
+        accepted = 0
+        for point in points:
+            if point.dim != self.dim:
+                raise ValueError(f"expected dim {self.dim}, got {point.dim}")
+            if self._ingest(q, cache, point):
+                accepted += 1
+        return accepted
+
+    def remove(self, point_id: str, queue: Optional[str] = None) -> Point:
+        """Withdraw a candidate without selecting it (KeyError if absent)."""
+        names = [queue] if queue is not None else list(self.queues)
+        for name in names:
+            q, cache = self._queue_and_cache(name)
+            if point_id in q:
+                cache.remove(point_id)
+                return q.pop(point_id)
+        raise KeyError(f"no candidate {point_id!r} in queues {sorted(names)}")
 
     def ncandidates(self) -> int:
         return sum(len(q) for q in self.queues.values())
@@ -89,34 +214,88 @@ class FarthestPointSampler(Sampler):
     def nselected(self) -> int:
         return len(self._selected_ids)
 
+    def selected_coords(self) -> np.ndarray:
+        """Read-only view of the selected set's coordinates, (n, dim)."""
+        view = self._sel_coords[: self._sel_n]
+        view.setflags(write=False)
+        return view
+
     # --- selection (expensive, on demand) --------------------------------------
 
     def _refresh_index(self) -> None:
-        if self._index_dirty or self.index.size != len(self._selected_ids):
-            coords = (
-                np.vstack(self._selected_coords)
-                if self._selected_coords
-                else np.empty((0, self.dim))
-            )
-            self.index.build(coords)
+        if self._index_dirty or self.index.size != self._sel_n:
+            self.index.build(self._sel_coords[: self._sel_n].copy())
             self._index_dirty = False
+
+    def _sync(self, cache: _QueueCache) -> None:
+        """Bring one queue's min-dist cache up to date with the selected set.
+
+        Three tiers, cheapest first: nothing to do; fold the few newly
+        selected points with the FPS recurrence (and price pending rows
+        with one vectorized query); full recompute only when the index
+        semantically rebuilt (epoch bump — e.g. an approximate index
+        retrained its cells, or a checkpoint restore).
+        """
+        nsel = self._sel_n
+        if cache.epoch != self.index.epoch:
+            if cache.n:
+                cache.mindist[: cache.n] = self.index.nearest_distance(
+                    cache.coords[: cache.n]
+                )
+                self.full_recomputes += 1
+            cache.epoch = self.index.epoch
+            cache.synced = nsel
+            return
+        if cache.n == 0:
+            cache.synced = nsel
+            return
+        md = cache.mindist[: cache.n]
+        pending = np.isnan(md)
+        if nsel > cache.synced:
+            live = ~pending
+            if live.any():
+                delta = self.index.delta_distance(
+                    cache.coords[: cache.n][live],
+                    self._sel_coords[cache.synced : nsel],
+                )
+                md[live] = np.minimum(md[live], delta)
+                self.delta_updates += 1
+        if pending.any():
+            md[pending] = self.index.nearest_distance(cache.coords[: cache.n][pending])
+        cache.synced = nsel
 
     def rank(self, queue: str) -> List[tuple]:
         """(point, novelty) for every candidate in a queue, best first.
 
-        Novelty is distance-to-nearest-selected; before anything has
+        This is the exact-recompute path: novelty comes from one full
+        index query over the queue's cached coordinate matrix, ignoring
+        the incremental min-dist cache — introspection, and the oracle
+        the incremental engine is tested against. Before anything has
         been selected every candidate is infinitely novel and arrival
         order breaks the tie.
         """
-        q = self.queues[queue]
-        pts = q.points()
-        if not pts:
+        q, cache = self._queue_and_cache(queue)
+        if cache.n == 0:
             return []
         self._refresh_index()
-        coords = np.vstack([p.coords for p in pts])
-        dists = self.index.nearest_distance(coords)
-        order = np.argsort(-dists, kind="stable")  # stable: FIFO tie-break
-        return [(pts[i], float(dists[i])) for i in order]
+        dists = self.index.nearest_distance(cache.coords[: cache.n])
+        # Descending novelty, FIFO tie-break — same order a stable
+        # descending sort over arrival-ordered rows would give.
+        order = np.lexsort((cache.seq[: cache.n], -dists))
+        return [(q.get(cache.ids[i]), float(dists[i])) for i in order]
+
+    def _round_robin(self, names: List[str]) -> Iterator[str]:
+        """Yield the next non-empty queue, rotating across ``names``."""
+        cursor = 0
+        while True:
+            for _ in range(len(names)):
+                name = names[cursor % len(names)]
+                cursor += 1
+                if len(self.queues[name]):
+                    break
+            else:
+                return  # all queues empty
+            yield name
 
     def select(self, k: int, now: float = 0.0, queue: Optional[str] = None) -> List[Point]:
         """Consume the ``k`` most novel candidates.
@@ -126,40 +305,51 @@ class FarthestPointSampler(Sampler):
         configuration class keeps getting simulated.
 
         True farthest-point semantics: after each pick the selected set
-        (and hence every remaining candidate's novelty) is updated.
+        (and hence every remaining candidate's novelty) is updated —
+        incrementally, via the recurrence described in the module
+        docstring, in O(n) per pick instead of a full re-rank.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
+        if queue is not None and queue not in self.queues:
+            raise KeyError(f"unknown queue {queue!r}; have {sorted(self.queues)}")
         t0 = time.perf_counter()
+        stats0 = self.index.stats.as_dict()
         with trace.span("select.patch") as sp:
             chosen: List[Point] = []
             names = [queue] if queue is not None else list(self.queues)
-            cursor = 0
-            while len(chosen) < k:
-                # Next non-empty queue in round-robin order.
-                for _ in range(len(names)):
-                    name = names[cursor % len(names)]
-                    cursor += 1
-                    if len(self.queues[name]):
-                        break
-                else:
-                    break  # all queues empty
-                ranked = self.rank(name)
-                best, _novelty = ranked[0]
-                self.queues[name].pop(best.id)
+            self._refresh_index()
+            for name in self._round_robin(names):
+                if len(chosen) >= k:
+                    break
+                q, cache = self.queues[name], self._caches[name]
+                self._sync(cache)
+                md = cache.mindist[: cache.n]
+                ties = np.flatnonzero(md == md.max())
+                row = int(ties[np.argmin(cache.seq[: cache.n][ties])])
+                best = q.pop(cache.ids[row])
+                cache.remove(best.id)
                 self._mark_selected(best)
                 chosen.append(best)
             if sp:
-                sp.set(k=k, chosen=len(chosen),
-                       candidates=self.ncandidates())
+                stats1 = self.index.stats.as_dict()
+                sp.set(k=k, chosen=len(chosen), candidates=self.ncandidates(),
+                       index_adds=stats1["adds"] - stats0["adds"],
+                       index_builds=stats1["builds"] - stats0["builds"],
+                       distance_evals=stats1["distance_evals"] - stats0["distance_evals"])
         self.last_update_seconds = time.perf_counter() - t0
         self._record(now, chosen, detail=f"queue={queue or 'round-robin'}")
         return chosen
 
     def _mark_selected(self, point: Point) -> None:
+        if self._sel_n >= self._sel_coords.shape[0]:
+            grown = np.empty((2 * self._sel_coords.shape[0], self.dim), dtype=np.float64)
+            grown[: self._sel_n] = self._sel_coords[: self._sel_n]
+            self._sel_coords = grown
+        self._sel_coords[self._sel_n] = point.coords
+        self._sel_n += 1
         self._selected_ids.append(point.id)
-        self._selected_coords.append(np.asarray(point.coords, dtype=np.float64))
-        self._index_dirty = True
+        self.index.add(np.asarray(point.coords, dtype=np.float64)[None, :])
 
     def seed_selected(self, points: Sequence[Point]) -> None:
         """Declare points as already simulated (checkpoint restore path)."""
@@ -168,6 +358,19 @@ class FarthestPointSampler(Sampler):
                 raise ValueError(f"expected dim {self.dim}, got {p.dim}")
             self._mark_selected(p)
 
+    def _rebuild_caches(self) -> None:
+        """Recreate every queue cache from queue contents (restore path).
+
+        All rows come back pending, and the index is marked for a full
+        rebuild, so the next selection recomputes novelty from scratch.
+        """
+        self._index_dirty = True
+        for name, q in self.queues.items():
+            cache = _QueueCache(self.dim, epoch=-1, capacity=max(len(q), 256))
+            for p in q.points():
+                cache.append(p)
+            self._caches[name] = cache
+
     # --- introspection --------------------------------------------------------
 
     def queue_sizes(self) -> Dict[str, int]:
@@ -175,3 +378,14 @@ class FarthestPointSampler(Sampler):
 
     def dropped(self) -> int:
         return sum(q.dropped for q in self.queues.values())
+
+    def duplicates(self) -> int:
+        """Silently-ignored duplicate ingests across all queues (dedup)."""
+        return sum(q.duplicates for q in self.queues.values())
+
+    def engine_stats(self) -> Dict[str, int]:
+        """Incremental-engine counters: index ops plus cache behaviour."""
+        out = self.index.stats.as_dict()
+        out["full_recomputes"] = self.full_recomputes
+        out["delta_updates"] = self.delta_updates
+        return out

@@ -33,12 +33,13 @@ def fps_state(sampler: FarthestPointSampler) -> Dict[str, Any]:
             "ids": [p.id for p in pts],
             "coords": np.vstack([p.coords for p in pts]).tolist() if pts else [],
             "dropped": q.dropped,
+            "duplicates": q.duplicates,
         }
     return {
         "kind": "fps",
         "dim": sampler.dim,
         "selected_ids": list(sampler._selected_ids),
-        "selected_coords": [c.tolist() for c in sampler._selected_coords],
+        "selected_coords": sampler.selected_coords().tolist(),
         "queues": queues,
     }
 
@@ -52,10 +53,9 @@ def restore_fps(sampler: FarthestPointSampler, state: Dict[str, Any]) -> None:
     if set(state["queues"]) != set(sampler.queues):
         raise ValueError("queue names differ from checkpoint")
     sampler._selected_ids = list(state["selected_ids"])
-    sampler._selected_coords = [
-        np.asarray(c, dtype=np.float64) for c in state["selected_coords"]
-    ]
-    sampler._index_dirty = True
+    sel = np.asarray(state["selected_coords"], dtype=np.float64).reshape(-1, sampler.dim)
+    sampler._sel_coords = sel.copy() if sel.shape[0] else np.empty((256, sampler.dim))
+    sampler._sel_n = sel.shape[0]
     for name, qstate in state["queues"].items():
         queue = sampler.queues[name]
         queue._points.clear()
@@ -63,15 +63,19 @@ def restore_fps(sampler: FarthestPointSampler, state: Dict[str, Any]) -> None:
         for pid, c in zip(qstate["ids"], coords):
             queue._points[pid] = Point(id=pid, coords=np.asarray(c, dtype=np.float64))
         queue.dropped = int(qstate["dropped"])
+        queue.duplicates = int(qstate.get("duplicates", 0))
+    # Every restored candidate is re-priced at the next selection; the
+    # index rebuilds over the restored selected set.
+    sampler._rebuild_caches()
 
 
 def binned_state(sampler: BinnedSampler) -> Dict[str, Any]:
     """Operational state of a binned sampler (including RNG state)."""
     bins = {}
-    for bin_id, pts in sampler._bins.items():
+    for bin_id, items in sampler._bins.items():
         bins[str(bin_id)] = {
-            "ids": [p.id for p in pts],
-            "coords": [p.coords.tolist() for p in pts],
+            "ids": [pid for pid, _ in items],
+            "coords": [np.asarray(c).tolist() for _, c in items],
         }
     return {
         "kind": "binned",
@@ -79,6 +83,7 @@ def binned_state(sampler: BinnedSampler) -> Dict[str, Any]:
         "randomness": sampler.randomness,
         "rng_state": sampler.rng.bit_generator.state,
         "selected_counts": sampler.selected_counts.tolist(),
+        "duplicates": sampler.duplicates,
         "bins": bins,
     }
 
@@ -92,17 +97,21 @@ def restore_binned(sampler: BinnedSampler, state: Dict[str, Any]) -> None:
     sampler.randomness = float(state["randomness"])
     sampler.rng.bit_generator.state = state["rng_state"]
     sampler.selected_counts = np.asarray(state["selected_counts"], dtype=np.int64)
+    sampler.duplicates = int(state.get("duplicates", 0))
     sampler._bins = {}
     sampler._ids = set()
     sampler._total = 0
+    sampler._occ_n = 0
+    sampler._occ_slot = {}
     for bin_id, content in state["bins"].items():
-        pts = [
-            Point(id=pid, coords=np.asarray(c, dtype=np.float64))
+        items = [
+            (pid, np.asarray(c, dtype=np.float64))
             for pid, c in zip(content["ids"], content["coords"])
         ]
-        sampler._bins[int(bin_id)] = pts
-        sampler._ids.update(p.id for p in pts)
-        sampler._total += len(pts)
+        sampler._bins[int(bin_id)] = items
+        sampler._occ_add(int(bin_id))
+        sampler._ids.update(pid for pid, _ in items)
+        sampler._total += len(items)
 
 
 def save_sampler(store: DataStore, key: str, sampler) -> None:

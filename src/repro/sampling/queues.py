@@ -42,6 +42,10 @@ class CandidateQueue:
         self.policy = policy
         self._points: "OrderedDict[str, Point]" = OrderedDict()
         self.dropped = 0
+        self.duplicates = 0
+        """Silently-ignored re-submissions of an already-queued id —
+        distinct from :attr:`dropped` (capacity evictions/refusals) so
+        telemetry can report ingest dedup separately."""
 
     def __len__(self) -> int:
         return len(self._points)
@@ -56,6 +60,7 @@ class CandidateQueue:
     def add(self, point: Point) -> bool:
         """Ingest a candidate; returns False if it was dropped."""
         if point.id in self._points:
+            self.duplicates += 1
             return False  # duplicate frame id: already queued
         if self.full:
             if self.policy is QueueFullPolicy.DROP_NEW:
@@ -65,6 +70,15 @@ class CandidateQueue:
             self.dropped += 1
         self._points[point.id] = point
         return True
+
+    def oldest(self) -> Optional[str]:
+        """Id of the longest-waiting candidate (eviction victim under
+        DROP_OLDEST), or None when empty."""
+        return next(iter(self._points), None)
+
+    def get(self, point_id: str) -> Point:
+        """The queued candidate with this id (KeyError if absent)."""
+        return self._points[point_id]
 
     def pop(self, point_id: str) -> Point:
         """Remove and return a specific candidate (it was selected)."""

@@ -154,6 +154,64 @@ class TestScaling:
         assert s.occupancy() == {0: 1, 1: 2}
 
 
+class TestAddBatch:
+    def test_points_form_equals_per_point_add(self):
+        rng = np.random.default_rng(10)
+        coords = rng.random((500, 3))
+        points = [Point(id=f"p{i}", coords=coords[i]) for i in range(500)]
+        a = BinnedSampler(SPECS_3D, rng=np.random.default_rng(0))
+        b = BinnedSampler(SPECS_3D, rng=np.random.default_rng(0))
+        for p in points:
+            a.add(p)
+        accepted = b.add_batch(points)
+        assert accepted == 500
+        assert a.occupancy() == b.occupancy()
+        # Same RNG, same buckets: identical selection stream.
+        assert [p.id for p in a.select(50)] == [p.id for p in b.select(50)]
+
+    def test_array_form_equals_points_form(self):
+        rng = np.random.default_rng(11)
+        coords = rng.random((300, 3))
+        ids = [f"p{i}" for i in range(300)]
+        a = BinnedSampler(SPECS_3D, rng=np.random.default_rng(0))
+        b = BinnedSampler(SPECS_3D, rng=np.random.default_rng(0))
+        a.add_batch([Point(id=i, coords=c) for i, c in zip(ids, coords)])
+        b.add_batch(ids=ids, coords=coords)
+        assert a.occupancy() == b.occupancy()
+        assert [p.id for p in a.select(30)] == [p.id for p in b.select(30)]
+
+    def test_batch_dedup_counts_duplicates(self):
+        s = BinnedSampler(SPECS_3D)
+        s.add(P("a", 0.1, 0.1, 0.1))
+        accepted = s.add_batch([
+            P("a", 0.5, 0.5, 0.5),  # dup vs existing
+            P("b", 0.2, 0.2, 0.2),
+            P("b", 0.3, 0.3, 0.3),  # dup within the batch
+        ])
+        assert accepted == 1
+        assert s.duplicates == 2
+        assert s.ncandidates() == 2
+
+    def test_batch_wrong_dim_rejected(self):
+        s = BinnedSampler(SPECS_3D)
+        with pytest.raises(ValueError):
+            s.add_batch(ids=["a"], coords=np.zeros((1, 2)))
+
+    def test_flat_bins_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(12)
+        s = BinnedSampler(SPECS_3D)
+        coords = rng.random((100, 3))
+        flats = s.flat_bins(coords)
+        for i in range(100):
+            assert flats[i] == s.flat_bin(coords[i])
+
+    def test_selected_points_materialize_coords(self):
+        s = BinnedSampler(SPECS_3D)
+        s.add_batch(ids=["a"], coords=np.array([[0.1, 0.2, 0.3]]))
+        got = s.select(1)
+        np.testing.assert_allclose(got[0].coords, [0.1, 0.2, 0.3])
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     xs=st.lists(st.floats(0, 1), min_size=1, max_size=100),

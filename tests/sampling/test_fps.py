@@ -181,6 +181,49 @@ class TestIndexBackends:
         assert s.last_update_seconds > 0
 
 
+class TestValidationAndIntrospection:
+    def test_select_unknown_queue_message_lists_queues(self):
+        s = FarthestPointSampler(dim=1, queues=["q1", "q2"])
+        s.add(P("a", 0.0), queue="q1")
+        with pytest.raises(KeyError, match=r"unknown queue 'nope'.*q1.*q2"):
+            s.select(1, queue="nope")
+        # Validation happens up front: nothing was consumed.
+        assert s.ncandidates() == 1
+        assert s.nselected() == 0
+
+    def test_add_unknown_queue_message_lists_queues(self):
+        s = FarthestPointSampler(dim=1, queues=["q1"])
+        with pytest.raises(KeyError, match=r"unknown queue 'nah'.*q1"):
+            s.add(P("a", 1.0), queue="nah")
+
+    def test_duplicates_counted_separately_from_dropped(self):
+        s = FarthestPointSampler(dim=1, queue_cap=2)
+        s.add(P("a", 0.0))
+        s.add(P("a", 5.0))  # duplicate id: ignored, not an eviction
+        s.add(P("b", 1.0))
+        s.add(P("c", 2.0))  # evicts a
+        assert s.duplicates() == 1
+        assert s.dropped() == 1
+        assert s.ncandidates() == 2
+
+    def test_add_batch_returns_accepted_count(self):
+        s = FarthestPointSampler(dim=1)
+        n = s.add_batch([P("a", 0.0), P("b", 1.0), P("a", 2.0)])
+        assert n == 2
+        assert s.duplicates() == 1
+
+    def test_engine_stats_shape(self):
+        s = FarthestPointSampler(dim=1)
+        s.add(P("a", 0.0))
+        s.add(P("b", 3.0))
+        s.select(2)
+        stats = s.engine_stats()
+        for key in ("adds", "builds", "queries", "distance_evals",
+                    "full_recomputes", "delta_updates"):
+            assert key in stats
+        assert stats["adds"] == 2
+
+
 @settings(max_examples=20, deadline=None)
 @given(coords=st.lists(st.floats(-100, 100), min_size=3, max_size=30, unique=True))
 def test_property_fps_maximizes_min_gap(coords):

@@ -126,3 +126,23 @@ class TestCandidateQueue:
     def test_invalid_cap(self):
         with pytest.raises(ValueError):
             CandidateQueue("q", cap=0)
+
+    def test_duplicates_distinct_from_dropped(self):
+        q = CandidateQueue("q", cap=2, policy=QueueFullPolicy.DROP_OLDEST)
+        q.add(P("a", 1.0))
+        q.add(P("a", 9.0))  # duplicate: ignored
+        q.add(P("b", 2.0))
+        q.add(P("c", 3.0))  # evicts a
+        assert q.duplicates == 1
+        assert q.dropped == 1
+        assert q.ids() == ["b", "c"]
+
+    def test_oldest_and_get(self):
+        q = CandidateQueue("q")
+        assert q.oldest() is None
+        q.add(P("a", 1.0))
+        q.add(P("b", 2.0))
+        assert q.oldest() == "a"
+        assert q.get("b").id == "b"
+        q.pop("a")
+        assert q.oldest() == "b"
