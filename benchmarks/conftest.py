@@ -20,6 +20,23 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "multi_server: bench spins up several live NetKV servers at once; "
+        "set REPRO_SKIP_MULTI_SERVER=1 to skip on constrained runners",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not os.environ.get("REPRO_SKIP_MULTI_SERVER"):
+        return
+    skip = pytest.mark.skip(reason="REPRO_SKIP_MULTI_SERVER is set")
+    for item in items:
+        if item.get_closest_marker("multi_server"):
+            item.add_marker(skip)
+
+
 def report(name: str, lines: Iterable[str]) -> None:
     """Print a result block and persist it under benchmarks/results/."""
     os.makedirs(RESULTS_DIR, exist_ok=True)

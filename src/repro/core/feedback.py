@@ -157,11 +157,16 @@ class StoreFeedbackMixin:
         §4.4 Task 4: "New frames can be fetched in parallel (when
         reading from files) or serial (when using a high-throughput
         database)" — ``fetch_workers > 1`` is the parallel path, suited
-        to filesystem backends where each read pays real latency.
+        to filesystem backends where each read pays real latency. The
+        serial path batches through :meth:`DataStore.read_present`,
+        which pipelined backends turn into one multi-key round trip per
+        shard; either way a key tagged by a concurrent iteration
+        between the scan and the read is skipped, not a crash.
         """
         keys = self.store.keys(self.live_prefix)
         if self.fetch_workers == 1 or len(keys) < 2:
-            return [(k, self.store.read(k)) for k in keys]
+            present = self.store.read_present(keys)
+            return [(k, present[k]) for k in keys if k in present]
         with ThreadPoolExecutor(max_workers=self.fetch_workers) as pool:
             # trace.wrap carries the collect span into the pool threads,
             # so parallel reads still parent to this iteration's trace.

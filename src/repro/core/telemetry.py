@@ -43,8 +43,14 @@ class TelemetryReport:
       patch-selector's incremental-engine counters (``patch_engine``:
       index adds/builds, distance evaluations, cache fold statistics).
     - ``transport``: wire-level counters (retries, timeouts, reconnects,
-      latency percentiles in ms) when the store is networked; empty for
-      in-process backends.
+      latency percentiles in ms, plus cluster counters — failovers,
+      shard down/up events, read repairs, rename orphans, and batched
+      request/key/pipeline-depth counts) when the store is networked;
+      empty for in-process backends.
+    - ``replicas``: replica topology and health when the store is a
+      replicated networked cluster — ``replication`` (copies per hash
+      slot), ``nshards`` / ``up`` (counts), per-shard ``address`` and
+      ``up`` flags, and ``pending_repairs`` (count); empty otherwise.
     - ``trace``: span-tracing summary when tracing is enabled — total
       ``spans`` and ``dropped`` (counts) and per-stage ``count`` /
       ``total_ms`` (milliseconds); empty when tracing is off.
@@ -58,6 +64,7 @@ class TelemetryReport:
     feedback: List[Dict[str, Any]]
     selectors: Dict[str, Any]
     transport: Dict[str, Any] = field(default_factory=dict)
+    replicas: Dict[str, Any] = field(default_factory=dict)
     trace: Dict[str, Any] = field(default_factory=dict)
 
     def data_written(self) -> int:
@@ -109,6 +116,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         "frame_bin_coverage": wm.frame_selector.coverage(),
     }
     tstats = getattr(wm.store, "transport_stats", None)
+    health_fn = getattr(wm.store, "replica_health", None)
     tracer = trace_mod.get_tracer()
     return TelemetryReport(
         rounds=wm.rounds,
@@ -119,6 +127,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         feedback=feedback,
         selectors=selectors,
         transport=tstats.as_dict() if tstats is not None else {},
+        replicas=health_fn() if callable(health_fn) else {},
         trace=tracer.summary() if tracer is not None else {},
     )
 
@@ -149,6 +158,23 @@ def render_report(report: TelemetryReport) -> str:
             f"({tr['timeouts']} timeouts), {tr['reconnects']} reconnects, "
             f"{tr['exhausted']} exhausted; "
             f"latency p50<={lat['p50_ms']:.2f} ms p99<={lat['p99_ms']:.2f} ms"
+        )
+        if tr.get("batched_requests"):
+            lines.append(
+                f"  pipelining: {tr['batched_requests']} batch round trips "
+                f"carrying {tr['batched_keys']} keys "
+                f"(deepest {tr['max_batch_keys']})"
+            )
+    if report.replicas:
+        rh = report.replicas
+        tr = report.transport
+        lines.append(
+            f"  replicas: {rh['up']}/{rh['nshards']} shards up at "
+            f"replication {rh['replication']}; "
+            f"{tr.get('failovers', 0)} failovers, "
+            f"{tr.get('read_repairs', 0)} read repairs, "
+            f"{tr.get('shard_down_events', 0)} down / "
+            f"{tr.get('shard_up_events', 0)} up events"
         )
     if report.trace:
         tr = report.trace

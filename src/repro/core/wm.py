@@ -169,7 +169,11 @@ class WorkflowManager:
             )
         }
 
-        # Counters mirrored into the checkpoint.
+        # Counters mirrored into the checkpoint. Job bodies run in
+        # adapter worker threads and bump cg_finished / aa_finished /
+        # frames_seen concurrently with the round driver's own updates,
+        # so every mutation goes through _bump under this lock.
+        self._counters_lock = threading.Lock()
         self.counters: Dict[str, int] = {
             "snapshots": 0,
             "patches": 0,
@@ -183,6 +187,16 @@ class WorkflowManager:
             "feedback_iterations": 0,
         }
         self.rounds = 0
+
+    def _bump(self, name: str, n: int = 1) -> None:
+        """Thread-safe counter increment (job bodies run in worker threads)."""
+        with self._counters_lock:
+            self.counters[name] += n
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """Consistent copy of the pipeline counters."""
+        with self._counters_lock:
+            return dict(self.counters)
 
     # ------------------------------------------------------------------
     # Task 1: process coarse-scale data
@@ -212,8 +226,8 @@ class WorkflowManager:
                         self.patch_selector.add_batch(points, queue=queue)
             if sp:
                 sp.set(patches=len(patches))
-        self.counters["snapshots"] += 1
-        self.counters["patches"] += len(patches)
+        self._bump("snapshots")
+        self._bump("patches", len(patches))
         return len(patches)
 
     # ------------------------------------------------------------------
@@ -236,7 +250,7 @@ class WorkflowManager:
             if not selected:
                 break
             patch = self._patch_by_id.pop(selected[0].id)
-            self.counters["patches_selected"] += 1
+            self._bump("patches_selected")
 
             def setup_job(patch=patch):
                 with trace.span("wm.createsim", patch=patch.patch_id):
@@ -266,8 +280,9 @@ class WorkflowManager:
                 if not self.cg_ready:
                     break
                 system = self.cg_ready.pop(0)
-            sim_id = f"cg{self.counters['cg_spawned']:05d}"
-            self.counters["cg_spawned"] += 1
+            with self._counters_lock:
+                sim_id = f"cg{self.counters['cg_spawned']:05d}"
+                self.counters["cg_spawned"] += 1
 
             def cg_job(system=system, sim_id=sim_id):
                 return self._run_cg_sim(system, sim_id)
@@ -302,8 +317,8 @@ class WorkflowManager:
                         box=system.box,
                         source_patch=system.source_patch,
                     )
-                    self.counters["frames_seen"] += 1
-        self.counters["cg_finished"] += 1
+                    self._bump("frames_seen")
+        self._bump("cg_finished")
         return sim.time
 
     def _fill_aa_buffer(self) -> int:
@@ -324,7 +339,7 @@ class WorkflowManager:
                     system = self._frame_systems.pop(frame_id)
                 if sp:
                     sp.set(frame=frame_id)
-            self.counters["frames_selected"] += 1
+            self._bump("frames_selected")
 
             def backmap_job(system=system, frame_id=frame_id):
                 with trace.span("wm.backmap", frame=frame_id):
@@ -346,8 +361,9 @@ class WorkflowManager:
                 if not self.aa_ready:
                     break
                 system = self.aa_ready.pop(0)
-            sim_id = f"aa{self.counters['aa_spawned']:05d}"
-            self.counters["aa_spawned"] += 1
+            with self._counters_lock:
+                sim_id = f"aa{self.counters['aa_spawned']:05d}"
+                self.counters["aa_spawned"] += 1
 
             def aa_job(system=system, sim_id=sim_id):
                 return self._run_aa_sim(system, sim_id)
@@ -368,7 +384,7 @@ class WorkflowManager:
                     f"ss/live/{sim_id}-{chunk:03d}",
                     pattern.encode("utf-8"),
                 )
-        self.counters["aa_finished"] += 1
+        self._bump("aa_finished")
         return sim.time
 
     def task3_manage_jobs(self) -> Dict[str, int]:
@@ -395,7 +411,7 @@ class WorkflowManager:
             for manager in self.feedback_managers:
                 manager.run_iteration(now=float(self.rounds))
                 n += 1
-        self.counters["feedback_iterations"] += n
+        self._bump("feedback_iterations", n)
         return n
 
     def lock_stats(self) -> Dict[str, int]:
@@ -423,27 +439,48 @@ class WorkflowManager:
                 self.adapter.wait_all()
             self.task4_feedback()
         self.rounds += 1
-        return dict(self.counters)
+        return self.counters_snapshot()
 
     def run(self, nrounds: int, advance_us: float = 1.0) -> Dict[str, int]:
         for _ in range(nrounds):
             self.round(advance_us)
-        return dict(self.counters)
+        return self.counters_snapshot()
 
     # ------------------------------------------------------------------
     # Checkpoint / restore (§4.4 resilience)
     # ------------------------------------------------------------------
 
     def checkpoint(self, key: str = "wm/checkpoint") -> None:
-        """Persist WM counters, selector state, and histories."""
+        """Persist WM counters, selector state, histories — and the
+        patch/frame side tables the selectors' candidate ids resolve
+        against, so a restored WM can actually materialize the
+        candidates its selectors still hold."""
         from repro.sampling.persistence import save_sampler
 
         with self._selector_guard.locked():
             save_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
             save_sampler(self.store, f"{key}/frame-selector", self.frame_selector)
+            patches = dict(self._patch_by_id)
+            frames = [c.to_json() for c in self._frame_by_id.values()]
+            systems = dict(self._frame_systems)
+        side = {f"{key}/patch-table/{pid}": p.to_bytes()
+                for pid, p in patches.items()}
+        side.update({f"{key}/frame-table/{fid}": s.to_bytes()
+                     for fid, s in systems.items()})
+        stale = [
+            k
+            for prefix in (f"{key}/patch-table/", f"{key}/frame-table/")
+            for k in self.store.keys(prefix)
+            if k not in side
+        ]
+        if stale:
+            self.store.delete_many(stale)
+        if side:
+            self.store.write_many(side)
+        self.store.write_json(f"{key}/frame-candidates", frames)
         payload = {
             "rounds": self.rounds,
-            "counters": self.counters,
+            "counters": self.counters_snapshot(),
             "patch_history": self.patch_selector.history_rows(),
             "frame_history": self.frame_selector.history_rows(),
             "macro_time_us": self.macro.time_us,
@@ -454,15 +491,44 @@ class WorkflowManager:
         self.store.write_json(key, payload)
 
     def restore(self, key: str = "wm/checkpoint") -> Dict:
-        """Reload counters and selector state; returns the payload."""
+        """Reload counters, selector state, and side tables; returns the
+        payload. Selector candidates whose side-table entry did not
+        survive (e.g. a checkpoint written by an older version) are
+        pruned — selecting one would otherwise KeyError the round
+        driver instead of producing a job."""
         from repro.sampling.persistence import load_sampler
 
         payload = self.store.read_json(key)
         self.rounds = int(payload["rounds"])
-        self.counters.update({k: int(v) for k, v in payload["counters"].items()})
+        with self._counters_lock:
+            self.counters.update({k: int(v) for k, v in payload["counters"].items()})
+        patch_prefix = f"{key}/patch-table/"
+        patch_table = {
+            k[len(patch_prefix):]: Patch.from_bytes(v)
+            for k, v in self.store.read_present(self.store.keys(patch_prefix)).items()
+        }
+        frame_prefix = f"{key}/frame-table/"
+        frame_table = {
+            k[len(frame_prefix):]: CGSystem.from_bytes(v)
+            for k, v in self.store.read_present(self.store.keys(frame_prefix)).items()
+        }
+        candidates = {}
+        if self.store.exists(f"{key}/frame-candidates"):
+            candidates = {
+                row["frame_id"]: FrameCandidate.from_json(row)
+                for row in self.store.read_json(f"{key}/frame-candidates")
+            }
         with self._selector_guard.locked():
             if self.store.exists(f"{key}/patch-selector"):
                 load_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
             if self.store.exists(f"{key}/frame-selector"):
                 load_sampler(self.store, f"{key}/frame-selector", self.frame_selector)
+            self._patch_by_id = patch_table
+            self._frame_systems = frame_table
+            self._frame_by_id = candidates
+            for pid in self.patch_selector.candidate_ids() - set(patch_table):
+                self.patch_selector.remove(pid)
+            for fid in self.frame_selector.candidate_ids() - set(frame_table):
+                self.frame_selector.discard(fid)
+                self._frame_by_id.pop(fid, None)
         return payload

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 import functools
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -158,6 +158,28 @@ class DataStore(abc.ABC):
         """Read several keys; missing keys raise like :meth:`read`."""
         return {k: self.read(k) for k in keys}
 
+    def read_present(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        """Read several keys, silently skipping those that are missing.
+
+        Feedback collectors race concurrent taggers, so a key listed a
+        moment ago may legitimately be gone; batching backends override
+        this with one pipelined round trip per shard.
+        """
+        out: Dict[str, bytes] = {}
+        for k in keys:
+            try:
+                out[k] = self.read(k)
+            except KeyNotFound:
+                pass
+        return out
+
+    def write_many(self, items: Union[Mapping[str, bytes],
+                                      Iterable[Tuple[str, bytes]]]) -> None:
+        """Write several key/value pairs (backends may batch)."""
+        pairs = items.items() if hasattr(items, "items") else items
+        for k, v in pairs:
+            self.write(k, v)
+
     def delete_many(self, keys: Iterable[str]) -> int:
         """Delete several keys; returns the number actually removed."""
         n = 0
@@ -205,7 +227,10 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
         fs://<directory>          filesystem backend
         taridx://<directory>      indexed-tar archive backend
         kv://[nservers]           in-memory KV cluster (default 1 server)
-        netkv://host:port[,...]   networked KV cluster (live servers)
+        netkv://host:port[,...][?replication=N]
+                                  networked KV cluster (live servers);
+                                  ``replication`` places every hash slot
+                                  on N consecutive shards for failover
 
     Extra keyword arguments are forwarded to the backend constructor.
     """
@@ -226,6 +251,14 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
     if scheme == "netkv":
         from repro.datastore.netkv import NetKVStore
 
+        rest, qsep, query = rest.partition("?")
+        if qsep:
+            for pair in filter(None, query.split("&")):
+                name, eq, value = pair.partition("=")
+                if name == "replication" and eq and value.isdigit():
+                    kwargs.setdefault("replication", int(value))
+                else:
+                    raise StoreError(f"unknown netkv URL option {pair!r}")
         addresses = []
         for part in filter(None, (p.strip() for p in rest.split(","))):
             host, sep2, port = part.rpartition(":")

@@ -11,8 +11,29 @@ Protocol (text header + raw payload, one request per round trip)::
     response: OK <len>\\n<payload>   |   NF\\n   |   ERR <message>\\n
 
 Commands: PING, SET key, GET key, DEL key, KEYS prefix, RENAME src dst,
-LEN, FLUSH, SHUTDOWN. A :class:`NetKVCluster` client routes keys over
-several servers with the same hash-slot rule as the in-process cluster.
+LEN, FLUSH, SHUTDOWN — plus the pipelined batch commands MGET, MSET,
+and MDEL, which carry many keys (and values) in a single round trip::
+
+    MGET <payload_len>\\n<keys joined by NUL>
+        -> OK frame whose payload is, per key in order,
+           "<n>\\n<value bytes>" (n = -1 and no bytes for a missing key)
+    MSET <payload_len>\\n<repeated "<key> <n>\\n<value bytes>" blocks>
+        -> OK frame whose payload is the decimal count stored
+    MDEL <payload_len>\\n<keys joined by NUL>
+        -> OK frame whose payload is one '1'/'0' flag byte per key
+           ('1' = the key existed and was deleted)
+
+A :class:`NetKVCluster` client routes keys over several servers with
+the same hash-slot rule as the in-process cluster, and can replicate
+every hash slot across ``replication`` consecutive shards: writes go
+to every replica, reads fail over to the first healthy copy, and the
+slice of the keyspace a shard owns only becomes unavailable when *all*
+of its replicas are down. Per-shard health is tracked continuously
+(fail-over marks a shard down; a cooldown-gated probe fails it back),
+and a read-repair pass re-synchronizes replicas after a recovery.
+Cross-shard renames are two-phase: the destination copy is fully
+acknowledged before the source delete, so a shard death between the
+phases can orphan a duplicate but never lose the value.
 
 Transport resilience (§5.1 / §6 — the in-memory store is the campaign's
 availability bottleneck):
@@ -42,7 +63,7 @@ import socketserver
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -87,6 +108,8 @@ class TransportConfig:
     ``min(backoff_max, backoff_base * 2**attempt)`` scaled by a uniform
     jitter factor in ``[1 - jitter, 1 + jitter]`` so a thousand clients
     recovering from one server blip don't reconnect in lockstep.
+    ``batch_keys`` caps how many keys one MGET/MSET/MDEL round trip
+    carries (the pipeline depth); larger batches are chunked.
     """
 
     op_timeout: float = 5.0
@@ -96,6 +119,7 @@ class TransportConfig:
     backoff_max: float = 1.0
     jitter: float = 0.5
     max_payload: int = 256 * 1024 * 1024
+    batch_keys: int = 512
 
     def __post_init__(self) -> None:
         if self.op_timeout <= 0 or self.connect_timeout <= 0:
@@ -108,6 +132,8 @@ class TransportConfig:
             raise ValueError("jitter must be in [0, 1]")
         if self.max_payload < 1:
             raise ValueError("max_payload must be >= 1")
+        if self.batch_keys < 1:
+            raise ValueError("batch_keys must be >= 1")
 
 
 class _RecvBuffer:
@@ -196,6 +222,103 @@ def _check_wire_key(key: str) -> str:
     return key
 
 
+# --- batch (MGET/MSET/MDEL) payload framing ------------------------------
+#
+# Batch payloads reuse the protocol's length-prefixed style inside one
+# frame so a single malformed entry invalidates only its own frame, and
+# the outer framing (header + total payload length) stays intact.
+
+
+def _split_key_payload(payload: bytes) -> List[str]:
+    """Keys of an MGET/MDEL payload (NUL-joined; empty payload = no keys)."""
+    if not payload:
+        return []
+    try:
+        keys = payload.decode("utf-8").split("\x00")
+    except UnicodeDecodeError:
+        raise WireProtocolError("batch key payload is not UTF-8") from None
+    return [_check_wire_key(k) for k in keys]
+
+
+def _pack_values(values: List[Optional[bytes]]) -> bytes:
+    """MGET response payload: "<n>\\n<bytes>" per value, -1 for missing."""
+    parts: List[bytes] = []
+    for value in values:
+        if value is None:
+            parts.append(b"-1\n")
+        else:
+            parts.append(b"%d\n" % len(value))
+            parts.append(value)
+    return b"".join(parts)
+
+
+def _unpack_values(data: bytes, nkeys: int) -> List[Optional[bytes]]:
+    """Inverse of :func:`_pack_values`; strict about trailing garbage."""
+    out: List[Optional[bytes]] = []
+    pos = 0
+    for _ in range(nkeys):
+        nl = data.find(b"\n", pos)
+        if nl == -1:
+            raise WireProtocolError("truncated batch value header")
+        try:
+            n = int(data[pos:nl])
+        except ValueError:
+            raise WireProtocolError(
+                f"batch value length is not an integer: {data[pos:nl]!r}") from None
+        pos = nl + 1
+        if n < 0:
+            out.append(None)
+            continue
+        if pos + n > len(data):
+            raise WireProtocolError("truncated batch value bytes")
+        out.append(data[pos:pos + n])
+        pos += n
+    if pos != len(data):
+        raise WireProtocolError("trailing bytes after batch values")
+    return out
+
+
+def _pack_items(items: List[Tuple[str, bytes]]) -> bytes:
+    """MSET request payload: repeated "<key> <n>\\n<value bytes>" blocks."""
+    parts: List[bytes] = []
+    for key, value in items:
+        parts.append(f"{_check_wire_key(key)} {len(value)}\n".encode("utf-8"))
+        parts.append(value)
+    return b"".join(parts)
+
+
+def _unpack_items(data: bytes, max_payload: int) -> List[Tuple[str, bytes]]:
+    """Inverse of :func:`_pack_items`, bounds-checking every block."""
+    items: List[Tuple[str, bytes]] = []
+    pos = 0
+    while pos < len(data):
+        nl = data.find(b"\n", pos)
+        if nl == -1:
+            raise WireProtocolError("truncated batch item header")
+        try:
+            head = data[pos:nl].decode("utf-8")
+        except UnicodeDecodeError:
+            raise WireProtocolError("batch item header is not UTF-8") from None
+        key, sep, length_text = head.rpartition(" ")
+        try:
+            n = int(length_text)
+        except ValueError:
+            raise WireProtocolError(
+                f"batch item length is not an integer: {length_text!r}") from None
+        if not sep or n < 0 or n > max_payload:
+            raise WireProtocolError(f"malformed batch item header: {head!r}")
+        pos = nl + 1
+        if pos + n > len(data):
+            raise WireProtocolError("truncated batch item bytes")
+        items.append((_check_wire_key(key), data[pos:pos + n]))
+        pos += n
+    return items
+
+
+def _chunks(seq: List, size: int) -> List[List]:
+    return [seq[i:i + size] for i in range(0, len(seq), size)]
+
+
 class _Handler(socketserver.BaseRequestHandler):
     """One request-response exchange per connection round trip.
 
@@ -264,8 +387,8 @@ class _Handler(socketserver.BaseRequestHandler):
                     sp.set(cmd=cmd)
                 try:
                     payload = b""
-                    if cmd == "SET":
-                        payload, args = self._read_set_payload(buf, args, server)
+                    if cmd in ("SET", "MGET", "MSET", "MDEL"):
+                        payload, args = self._read_payload(buf, cmd, args, server)
                     response = self._dispatch(server, cmd, args, payload)
                 except KeyNotFound:
                     sock.sendall(b"NF\n")
@@ -293,17 +416,20 @@ class _Handler(socketserver.BaseRequestHandler):
             pass
 
     @staticmethod
-    def _read_set_payload(buf: _RecvBuffer, args: List[str],
-                          server: "NetKVServer") -> Tuple[bytes, List[str]]:
-        """Parse and read a SET payload, or raise :class:`WireProtocolError`."""
-        if len(args) < 2:
-            raise WireProtocolError("SET needs a key and a payload length")
+    def _read_payload(buf: _RecvBuffer, cmd: str, args: List[str],
+                      server: "NetKVServer") -> Tuple[bytes, List[str]]:
+        """Read a payload-carrying command's body (last arg = byte length),
+        or raise :class:`WireProtocolError`."""
+        min_args = 2 if cmd == "SET" else 1  # SET also carries its key
+        if len(args) < min_args:
+            raise WireProtocolError(f"{cmd} header is missing arguments")
         try:
             length = int(args[-1])
         except ValueError:
-            raise WireProtocolError(f"SET length is not an integer: {args[-1]!r}") from None
+            raise WireProtocolError(
+                f"{cmd} length is not an integer: {args[-1]!r}") from None
         if length < 0 or length > server.max_payload:
-            raise WireProtocolError(f"SET length out of range: {length}")
+            raise WireProtocolError(f"{cmd} length out of range: {length}")
         return buf.recv_exact(length), args[:-1]
 
     @staticmethod
@@ -327,6 +453,14 @@ class _Handler(socketserver.BaseRequestHandler):
             if cmd == "RENAME":
                 store.rename(args[0], _check_wire_key(args[1]))
                 return b""
+            if cmd == "MGET":
+                return _pack_values(store.mget(_split_key_payload(payload)))
+            if cmd == "MSET":
+                n = store.mset(_unpack_items(payload, server.max_payload))
+                return str(n).encode("utf-8")
+            if cmd == "MDEL":
+                flags = store.mdelete(_split_key_payload(payload))
+                return b"".join(b"1" if f else b"0" for f in flags)
             if cmd == "LEN":
                 return str(len(store)).encode("utf-8")
             if cmd == "FLUSH":
@@ -563,6 +697,41 @@ class NetKVClient:
     def rename(self, src: str, dst: str) -> None:
         self._roundtrip(f"RENAME {src} {_check_wire_key(dst)}")
 
+    # --- pipelined batch operations (one round trip per call) -------------
+
+    def mget(self, keys: List[str]) -> List[Optional[bytes]]:
+        """Values for ``keys`` in order; None where the key is missing."""
+        if not keys:
+            return []
+        payload = "\x00".join(_check_wire_key(k) for k in keys).encode("utf-8")
+        raw = self._roundtrip(f"MGET {len(payload)}", payload)
+        values = _unpack_values(raw, len(keys))
+        self.stats.note_batch(len(keys))
+        return values
+
+    def mset(self, items: List[Tuple[str, bytes]]) -> int:
+        if not items:
+            return 0
+        payload = _pack_items(items)
+        raw = self._roundtrip(f"MSET {len(payload)}", payload)
+        try:
+            n = int(raw)
+        except ValueError:
+            raise WireProtocolError(f"malformed MSET response: {raw!r}") from None
+        self.stats.note_batch(len(items))
+        return n
+
+    def mdelete(self, keys: List[str]) -> List[bool]:
+        """Delete ``keys``; per-key flags say which existed."""
+        if not keys:
+            return []
+        payload = "\x00".join(_check_wire_key(k) for k in keys).encode("utf-8")
+        raw = self._roundtrip(f"MDEL {len(payload)}", payload)
+        if len(raw) != len(keys) or raw.strip(b"01"):
+            raise WireProtocolError(f"malformed MDEL response: {raw[:64]!r}")
+        self.stats.note_batch(len(keys))
+        return [b == 0x31 for b in raw]
+
     def __len__(self) -> int:
         return int(self._roundtrip("LEN"))
 
@@ -575,56 +744,794 @@ class NetKVClient:
         self.close()
 
 
+# Internal namespace for deletion markers. A delete that cannot reach
+# every replica leaves a tombstone on the replicas it did reach, so the
+# anti-entropy pass can tell "deleted while you were down" apart from
+# "written while you were down" and does not resurrect tagged keys.
+_TOMB = "__repro_tomb__/"
+
+
+class _ShardState:
+    """Health record for one shard; mutated under the cluster's health lock."""
+
+    __slots__ = ("up", "down_since", "last_attempt")
+
+    def __init__(self) -> None:
+        self.up = True
+        self.down_since = 0.0
+        self.last_attempt = 0.0
+
+
+class _ClientPool:
+    """Bounded free-list of connections to one shard.
+
+    Feedback managers fetch through thread pools, so several threads
+    may talk to the same shard at once; the pool lets each borrow its
+    own connection instead of serializing on one socket. Connections
+    that failed mid-operation are discarded, never reused.
+    """
+
+    def __init__(self, address: Tuple[str, int], config: TransportConfig,
+                 stats: TransportStats, spawn_rng, max_idle: int = 4) -> None:
+        self.address = address
+        self._config = config
+        self._stats = stats
+        self._spawn_rng = spawn_rng
+        self._max_idle = max_idle
+        self._idle: List[NetKVClient] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> NetKVClient:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return NetKVClient(self.address, config=self._config,
+                           stats=self._stats, rng=self._spawn_rng())
+
+    def release(self, client: NetKVClient, discard: bool = False) -> None:
+        if not discard:
+            with self._lock:
+                if len(self._idle) < self._max_idle:
+                    self._idle.append(client)
+                    return
+        client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()
+
+
 class NetKVCluster:
-    """Slot-routed client over several networked shards.
+    """Replicated, slot-routed client over several networked shards.
+
+    Every hash slot lives on ``replication`` consecutive shards (its
+    primary plus the following ``replication - 1``, wrapping around).
+    Writes go to every healthy replica and succeed with at least one
+    acknowledgement; reads try replicas in placement order and fail
+    over past dead copies, repairing stale replicas with the value they
+    missed. A slot's slice of the keyspace raises
+    :class:`StoreUnavailable` only when *all* of its replicas are down.
+
+    Per-shard health is tracked continuously: an operation that
+    exhausts its retry budget marks the shard down, after which it is
+    skipped until ``probe_cooldown`` elapses; then a single half-open
+    probe (or a last-ditch attempt when no other replica is left) may
+    fail it back. A recovered shard is queued for an anti-entropy
+    repair pass — run automatically at the next operation — that pulls
+    the writes it missed, pushes acked writes only it holds, and prunes
+    keys its peers saw deleted (tombstones, see ``_TOMB``).
 
     All per-shard clients share one :class:`TransportStats` and one
     :class:`TransportConfig`, so the cluster reports transport health
-    for the store as a whole.
+    for the store as a whole. With ``replication=1`` the behavior is
+    exactly the old single-copy cluster.
     """
 
     def __init__(self, addresses: List[Tuple[str, int]],
                  config: Optional[TransportConfig] = None,
-                 rng: Optional[np.random.Generator] = None) -> None:
+                 rng: Optional[np.random.Generator] = None,
+                 replication: int = 1,
+                 probe_cooldown: float = 0.25) -> None:
         if not addresses:
             raise StoreError("cluster needs at least one server address")
+        if replication < 1:
+            raise StoreError("replication must be >= 1")
+        if probe_cooldown < 0:
+            raise StoreError("probe_cooldown must be >= 0")
+        self.addresses = [tuple(a) for a in addresses]
         self.config = config or TransportConfig()
         self.stats = TransportStats()
+        self.replication = min(int(replication), len(self.addresses))
+        self.probe_cooldown = float(probe_cooldown)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng_lock = threading.Lock()
+        self._pools = [
+            _ClientPool(addr, self.config, self.stats, self._spawn_rng)
+            for addr in self.addresses
+        ]
+        # Probes must answer fast even when the shard is dead: one
+        # attempt, no retry ladder.
+        probe_cfg = dataclasses.replace(self.config, retries=0)
+        self._probers = [
+            NetKVClient(addr, config=probe_cfg, stats=self.stats,
+                        rng=self._spawn_rng())
+            for addr in self.addresses
+        ]
+        self._states = [_ShardState() for _ in self.addresses]
+        self._health_lock = threading.Lock()
+        self._repair_pending: set = set()
+        self._repairing = False
+        self._repair_gate = threading.Lock()
+        self._tombstones = False
+        self._now = time.monotonic  # swappable in tests
+        # Dedicated single-connection clients, one per shard: kept for
+        # introspection (len(), direct shard access) and older callers.
         self.clients = [
-            NetKVClient(addr, config=self.config, stats=self.stats, rng=rng)
-            for addr in addresses
+            NetKVClient(addr, config=self.config, stats=self.stats,
+                        rng=self._spawn_rng())
+            for addr in self.addresses
         ]
 
+    def _spawn_rng(self) -> np.random.Generator:
+        # One Generator per client: numpy Generators are not thread-safe.
+        with self._rng_lock:
+            seed = int(self._rng.integers(0, 2 ** 63))
+        return np.random.default_rng(seed)
+
+    # --- placement and health --------------------------------------------
+
+    def _replicas_for(self, key: str) -> List[int]:
+        n = len(self._pools)
+        primary = key_slot(key) % n
+        return [(primary + r) % n for r in range(self.replication)]
+
     def client_for(self, key: str) -> NetKVClient:
+        """Legacy accessor: the dedicated client of a key's primary shard."""
         return self.clients[key_slot(key) % len(self.clients)]
 
+    def _split_health(self, shards: List[int]) -> Tuple[List[int], List[int], List[int]]:
+        """Partition shards into (up, probe-eligible, cooling-down).
+
+        A down shard whose cooldown elapsed claims its probe slot here,
+        so concurrent operations don't all pay for the same probe.
+        """
+        now = self._now()
+        up: List[int] = []
+        probe: List[int] = []
+        rest: List[int] = []
+        with self._health_lock:
+            for idx in shards:
+                st = self._states[idx]
+                if st.up:
+                    up.append(idx)
+                elif now - st.last_attempt >= self.probe_cooldown:
+                    st.last_attempt = now
+                    probe.append(idx)
+                else:
+                    rest.append(idx)
+        return up, probe, rest
+
+    def _mark_down(self, idx: int) -> None:
+        now = self._now()
+        with self._health_lock:
+            st = self._states[idx]
+            st.last_attempt = now
+            if not st.up:
+                return
+            st.up = False
+            st.down_since = now
+        self.stats.note_shard_down()
+        trace.event("netkv.shard_down", shard=idx)
+
+    def _mark_up(self, idx: int) -> None:
+        st = self._states[idx]
+        if st.up:
+            return  # fast path: no lock on the healthy hot path
+        with self._health_lock:
+            if st.up:
+                return
+            st.up = True
+            self._repair_pending.add(idx)
+        self.stats.note_shard_up()
+        trace.event("netkv.shard_up", shard=idx,
+                    downtime=self._now() - st.down_since)
+
+    def _probe(self, idx: int) -> None:
+        """Half-open check of a down shard: one cheap PING, no retries."""
+        try:
+            self._probers[idx].ping()
+        except StoreUnavailable:
+            self._mark_down(idx)
+        except StoreError:
+            self._mark_up(idx)  # it answered, even if with an error
+        else:
+            self._mark_up(idx)
+
+    def _shard_op(self, idx: int, fn):
+        """Run ``fn(client)`` against shard ``idx`` on a pooled connection,
+        folding the outcome into the shard's health state."""
+        pool = self._pools[idx]
+        client = pool.acquire()
+        try:
+            result = fn(client)
+        except StoreUnavailable:
+            pool.release(client, discard=True)
+            self._mark_down(idx)
+            raise
+        except StoreError:
+            pool.release(client)  # the shard answered; the connection is fine
+            self._mark_up(idx)
+            raise
+        except BaseException:
+            pool.release(client, discard=True)
+            raise
+        pool.release(client)
+        self._mark_up(idx)
+        return result
+
+    # --- single-key operations -------------------------------------------
+
     def set(self, key: str, value: bytes) -> None:
-        self.client_for(key).set(key, value)
+        self._maybe_repair()
+        replicas = self._replicas_for(key)
+        up, probe, rest = self._split_health(replicas)
+        acked: List[int] = []
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal last_exc
+            try:
+                self._shard_op(idx, lambda c, k=key, v=value: c.set(k, v))
+                acked.append(idx)
+            except StoreUnavailable as exc:
+                last_exc = exc
+
+        for idx in up:
+            attempt(idx)
+        if not acked:
+            for idx in probe + rest:
+                attempt(idx)
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not acked:
+            raise StoreUnavailable(
+                f"no replica of {len(replicas)} accepted the write of {key!r}"
+            ) from last_exc
+        if self._tombstones:
+            self._clear_tombstones([key], acked)
 
     def get(self, key: str) -> bytes:
-        return self.client_for(key).get(key)
+        self._maybe_repair()
+        replicas = self._replicas_for(key)
+        up, probe, rest = self._split_health(replicas)
+        attempted: List[int] = []
+        nf: List[int] = []
+        last_exc: Optional[BaseException] = None
+        value: Optional[bytes] = None
+        for tier in (up, probe + rest):
+            if tier is not up and nf:
+                break  # NF from a live replica wins over probing dead ones
+            for idx in tier:
+                attempted.append(idx)
+                try:
+                    value = self._shard_op(idx, lambda c, k=key: c.get(k))
+                except KeyNotFound:
+                    nf.append(idx)
+                    continue
+                except StoreUnavailable as exc:
+                    last_exc = exc
+                    continue
+                break
+            if value is not None or nf:
+                break
+        for idx in probe:
+            if idx not in attempted:
+                self._probe(idx)
+        if value is None:
+            if nf:
+                raise KeyNotFound(key)
+            raise StoreUnavailable(
+                f"all {len(replicas)} replica(s) for {key!r} are unavailable"
+            ) from last_exc
+        if len(attempted) > 1:
+            self.stats.note_failover()
+            trace.event("netkv.failover", key=key, served_by=attempted[-1])
+        if nf:
+            repaired = 0
+            for idx in nf:
+                try:
+                    self._shard_op(idx, lambda c, k=key, v=value: c.set(k, v))
+                    repaired += 1
+                except StoreError:
+                    pass
+            if repaired:
+                self.stats.note_read_repair(repaired)
+        return value
 
     def delete(self, key: str) -> None:
-        self.client_for(key).delete(key)
+        self._maybe_repair()
+        replicas = self._replicas_for(key)
+        up, probe, rest = self._split_health(replicas)
+        reached: List[int] = []
+        found = False
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal found, last_exc
+            try:
+                self._shard_op(idx, lambda c, k=key: c.delete(k))
+                reached.append(idx)
+                found = True
+            except KeyNotFound:
+                reached.append(idx)
+            except StoreUnavailable as exc:
+                last_exc = exc
+
+        for idx in up:
+            attempt(idx)
+        if not reached:
+            for idx in probe + rest:
+                attempt(idx)
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not reached:
+            raise StoreUnavailable(
+                f"all {len(replicas)} replica(s) for {key!r} are unavailable"
+            ) from last_exc
+        if len(reached) < len(replicas):
+            self._write_tombstones([key], reached)
+        if not found:
+            raise KeyNotFound(key)
 
     def keys(self, prefix: str = "") -> List[str]:
-        out: List[str] = []
-        for client in self.clients:
-            out.extend(client.keys(prefix))
-        return sorted(out)
+        self._maybe_repair()
+        n = len(self._pools)
+        out: set = set()
+        reached: set = set()
+        last_exc: Optional[BaseException] = None
+        up, probe, rest = self._split_health(list(range(n)))
+
+        def scan(idx: int) -> None:
+            nonlocal last_exc
+            try:
+                out.update(self._shard_op(idx, lambda c, p=prefix: c.keys(p)))
+                reached.add(idx)
+            except StoreUnavailable as exc:
+                last_exc = exc
+
+        for idx in up + probe:
+            scan(idx)
+        attempted = set(up) | set(probe)
+        # Coverage check: a dead shard must not silently erase its slice
+        # of the keyspace — every replica window needs a live witness.
+        for p in range(n):
+            window = [(p + r) % n for r in range(self.replication)]
+            if any(w in reached for w in window):
+                continue
+            for idx in window:
+                if idx in attempted:
+                    continue
+                attempted.add(idx)
+                scan(idx)
+                if idx in reached:
+                    break
+            if not any(w in reached for w in window):
+                raise StoreUnavailable(
+                    f"replica window {window} is entirely unavailable; a key "
+                    f"listing would silently lose its keyspace slice"
+                ) from last_exc
+        # A union scan may see stale keys on a just-recovered replica;
+        # its peers' tombstones veto them until repair prunes for real.
+        tombs = {k[len(_TOMB):] for k in out if k.startswith(_TOMB)}
+        if prefix.startswith(_TOMB):  # explicit tombstone listing (GC)
+            return sorted(k for k in out if k.startswith(prefix))
+        return sorted(k for k in out
+                      if not k.startswith(_TOMB) and k not in tombs)
 
     def rename(self, src: str, dst: str) -> None:
-        src_client = self.client_for(src)
-        dst_client = self.client_for(dst)
-        if src_client is dst_client:
-            src_client.rename(src, dst)
+        self._maybe_repair()
+        src_replicas = self._replicas_for(src)
+        if src_replicas == self._replicas_for(dst):
+            self._rename_native(src, dst, src_replicas)
+            return
+        # Two-phase cross-shard move: the destination copy is fully
+        # acknowledged before the source delete, so a shard death
+        # between the phases leaves a duplicate (counted below), never
+        # a lost value.
+        value = self.get(src)
+        self.set(dst, value)
+        try:
+            self.delete(src)
+        except KeyNotFound:
+            pass  # a concurrent mover finished the delete first
+        except StoreUnavailable:
+            self.stats.note_rename_orphan()
+            trace.event("netkv.rename_orphan", src=src, dst=dst)
+
+    def _rename_native(self, src: str, dst: str, replicas: List[int]) -> None:
+        """Same-window rename: one RENAME round trip per replica."""
+        up, probe, rest = self._split_health(replicas)
+        reached: List[int] = []
+        renamed = False
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal renamed, last_exc
+            try:
+                self._shard_op(idx, lambda c, s=src, d=dst: c.rename(s, d))
+                reached.append(idx)
+                renamed = True
+            except KeyNotFound:
+                reached.append(idx)
+            except StoreUnavailable as exc:
+                last_exc = exc
+
+        for idx in up:
+            attempt(idx)
+        if not reached:
+            for idx in probe + rest:
+                attempt(idx)
         else:
-            value = src_client.get(src)
-            dst_client.set(dst, value)
-            src_client.delete(src)
+            for idx in probe:
+                self._probe(idx)
+        if not reached:
+            raise StoreUnavailable(
+                f"all {len(replicas)} replica(s) for {src!r} are unavailable"
+            ) from last_exc
+        if not renamed:
+            raise KeyNotFound(src)
+        if len(reached) < len(replicas):
+            self._write_tombstones([src], reached)
+
+    # --- pipelined batch operations --------------------------------------
+
+    def _group_positions(self, keys: List[str]) -> Dict[int, List[int]]:
+        """Key positions grouped by primary shard (batch routing)."""
+        n = len(self._pools)
+        groups: Dict[int, List[int]] = {}
+        for i, k in enumerate(keys):
+            groups.setdefault(key_slot(k) % n, []).append(i)
+        return groups
+
+    def mget(self, keys: List[str]) -> List[Optional[bytes]]:
+        """Values for ``keys`` in order (None where missing), batching
+        up to ``config.batch_keys`` keys per round trip with per-key
+        replica failover and read repair."""
+        self._maybe_repair()
+        keys = list(keys)
+        out: List[Optional[bytes]] = [None] * len(keys)
+        n = len(self._pools)
+        for primary, positions in sorted(self._group_positions(keys).items()):
+            replicas = [(primary + r) % n for r in range(self.replication)]
+            for chunk in _chunks(positions, self.config.batch_keys):
+                self._mget_chunk(keys, chunk, replicas, out)
+        return out
+
+    def _mget_chunk(self, keys: List[str], positions: List[int],
+                    replicas: List[int], out: List[Optional[bytes]]) -> None:
+        up, probe, rest = self._split_health(replicas)
+        remaining = list(positions)
+        reached: List[Tuple[int, List[int]]] = []  # (shard, positions it lacked)
+        last_exc: Optional[BaseException] = None
+        nattempt = 0
+
+        def attempt(idx: int) -> None:
+            nonlocal remaining, last_exc, nattempt
+            nattempt += 1
+            try:
+                values = self._shard_op(
+                    idx, lambda c, ks=[keys[p] for p in remaining]: c.mget(ks))
+            except StoreUnavailable as exc:
+                last_exc = exc
+                return
+            still: List[int] = []
+            for p, v in zip(remaining, values):
+                if v is None:
+                    still.append(p)
+                else:
+                    out[p] = v
+            if nattempt > 1 and len(still) < len(remaining):
+                self.stats.note_failover()
+            reached.append((idx, still))
+            remaining = still
+
+        for idx in up:
+            attempt(idx)
+            if not remaining:
+                break
+        if not reached:
+            for idx in probe + rest:
+                attempt(idx)
+                if not remaining:
+                    break
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not reached:
+            raise StoreUnavailable(
+                f"all {len(replicas)} replica(s) for a {len(positions)}-key "
+                f"batch read are unavailable"
+            ) from last_exc
+        # Read repair: replicas that answered but lacked keys a peer had.
+        repaired = 0
+        for idx, missed in reached:
+            items = [(keys[p], out[p]) for p in missed if out[p] is not None]
+            if not items:
+                continue
+            try:
+                self._shard_op(idx, lambda c, it=items: c.mset(it))
+                repaired += len(items)
+            except StoreError:
+                pass
+        if repaired:
+            self.stats.note_read_repair(repaired)
+
+    def mset(self, items: List[Tuple[str, bytes]]) -> None:
+        """Write many key/value pairs, batching per primary shard and
+        replicating each batch; raises :class:`StoreUnavailable` if any
+        batch gets zero acknowledgements (earlier batches may have
+        landed — writes are at-least-once, as with single-key retries)."""
+        self._maybe_repair()
+        items = list(items)
+        n = len(self._pools)
+        groups: Dict[int, List[Tuple[str, bytes]]] = {}
+        for k, v in items:
+            groups.setdefault(key_slot(k) % n, []).append((k, v))
+        for primary, group in sorted(groups.items()):
+            replicas = [(primary + r) % n for r in range(self.replication)]
+            for chunk in _chunks(group, self.config.batch_keys):
+                self._mset_chunk(chunk, replicas)
+
+    def _mset_chunk(self, chunk: List[Tuple[str, bytes]],
+                    replicas: List[int]) -> None:
+        up, probe, rest = self._split_health(replicas)
+        acked: List[int] = []
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal last_exc
+            try:
+                self._shard_op(idx, lambda c, it=chunk: c.mset(it))
+                acked.append(idx)
+            except StoreUnavailable as exc:
+                last_exc = exc
+
+        for idx in up:
+            attempt(idx)
+        if not acked:
+            for idx in probe + rest:
+                attempt(idx)
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not acked:
+            raise StoreUnavailable(
+                f"no replica of {len(replicas)} accepted a "
+                f"{len(chunk)}-key batch write"
+            ) from last_exc
+        if self._tombstones:
+            self._clear_tombstones([k for k, _ in chunk], acked)
+
+    def mdelete(self, keys: List[str]) -> List[bool]:
+        """Delete many keys; per-key flags say which existed on any
+        replica. Batched per primary shard like :meth:`mget`."""
+        self._maybe_repair()
+        keys = list(keys)
+        flags = [False] * len(keys)
+        n = len(self._pools)
+        for primary, positions in sorted(self._group_positions(keys).items()):
+            replicas = [(primary + r) % n for r in range(self.replication)]
+            for chunk in _chunks(positions, self.config.batch_keys):
+                self._mdel_chunk(keys, chunk, replicas, flags)
+        return flags
+
+    def _mdel_chunk(self, keys: List[str], positions: List[int],
+                    replicas: List[int], flags: List[bool]) -> None:
+        up, probe, rest = self._split_health(replicas)
+        chunk_keys = [keys[p] for p in positions]
+        reached: List[int] = []
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal last_exc
+            try:
+                fl = self._shard_op(idx, lambda c, ks=chunk_keys: c.mdelete(ks))
+            except StoreUnavailable as exc:
+                last_exc = exc
+                return
+            reached.append(idx)
+            for p, f in zip(positions, fl):
+                if f:
+                    flags[p] = True
+
+        for idx in up:
+            attempt(idx)
+        if not reached:
+            for idx in probe + rest:
+                attempt(idx)
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not reached:
+            raise StoreUnavailable(
+                f"all {len(replicas)} replica(s) for a {len(positions)}-key "
+                f"batch delete are unavailable"
+            ) from last_exc
+        if len(reached) < len(replicas):
+            self._write_tombstones(chunk_keys, reached)
+
+    # --- tombstones -------------------------------------------------------
+
+    def _write_tombstones(self, keys: List[str], reached: List[int]) -> None:
+        """Mark deletions a down replica missed, on the replicas reached."""
+        items = [(_TOMB + k, b"") for k in keys]
+        for idx in reached:
+            try:
+                self._shard_op(idx, lambda c, it=items: c.mset(it))
+            except StoreError:
+                pass
+        self._tombstones = True
+        trace.event("netkv.tombstone", keys=len(items))
+
+    def _clear_tombstones(self, keys: List[str], reached: List[int]) -> None:
+        """A re-write supersedes any pending deletion marker."""
+        tomb_keys = [_TOMB + k for k in keys]
+        for idx in reached:
+            try:
+                self._shard_op(idx, lambda c, ks=tomb_keys: c.mdelete(ks))
+            except StoreError:
+                pass
+
+    # --- fail-back repair -------------------------------------------------
+
+    def repair(self) -> None:
+        """Probe down shards and run any pending anti-entropy passes now.
+
+        This also happens automatically: operations probe cooled-down
+        shards as a side effect, and a recovered shard is repaired at
+        the next operation's entry. Calling it directly is useful after
+        an orchestrated restart.
+        """
+        with self._health_lock:
+            down = [i for i, st in enumerate(self._states) if not st.up]
+        for idx in down:
+            self._probe(idx)
+        self._maybe_repair()
+
+    def _maybe_repair(self) -> None:
+        if not self._repair_pending or self._repairing:
+            return
+        with self._repair_gate:
+            if self._repairing:
+                return
+            self._repairing = True
+        try:
+            while True:
+                with self._health_lock:
+                    if not self._repair_pending:
+                        break
+                    idx = min(self._repair_pending)
+                    self._repair_pending.discard(idx)
+                self._repair_shard(idx)
+            if self._tombstones:
+                with self._health_lock:
+                    all_up = (not self._repair_pending
+                              and all(st.up for st in self._states))
+                if all_up:
+                    self._gc_tombstones()
+        finally:
+            self._repairing = False
+
+    def _repair_shard(self, s: int) -> None:
+        """Anti-entropy for a recovered shard: prune deletions it missed,
+        pull writes it missed, push acked writes only it holds."""
+        n = len(self._pools)
+        r = self.replication
+        if r < 2:
+            return
+        with trace.span("netkv.repair") as sp:
+            try:
+                skeys = set(self._shard_op(s, lambda c: c.keys()))
+            except StoreError:
+                return  # went down again; re-queued at the next fail-back
+            peers = sorted({(s + d) % n for d in range(-(r - 1), r)} - {s})
+            peer_keys: Dict[int, set] = {}
+            all_tombs: set = set()
+            for d in peers:
+                if not self._states[d].up:
+                    continue
+                try:
+                    dk = set(self._shard_op(d, lambda c: c.keys()))
+                except StoreError:
+                    continue
+                peer_keys[d] = dk
+                all_tombs.update(k[len(_TOMB):] for k in dk
+                                 if k.startswith(_TOMB))
+            copied = 0
+            # 1) prune: keys a healthy peer saw deleted while s was down
+            dead = [k for k in skeys
+                    if not k.startswith(_TOMB) and k in all_tombs]
+            for chunk in _chunks(dead, self.config.batch_keys):
+                try:
+                    self._shard_op(s, lambda c, ks=chunk: c.mdelete(ks))
+                    skeys.difference_update(chunk)
+                except StoreError:
+                    break
+            # 2) pull: live keys peers hold for windows that include s
+            for d, dk in peer_keys.items():
+                want = [k for k in dk
+                        if not k.startswith(_TOMB) and k not in skeys
+                        and k not in all_tombs
+                        and s in self._replicas_for(k)]
+                for chunk in _chunks(want, self.config.batch_keys):
+                    try:
+                        values = self._shard_op(d, lambda c, ks=chunk: c.mget(ks))
+                        items = [(k, v) for k, v in zip(chunk, values)
+                                 if v is not None]
+                        if items:
+                            self._shard_op(s, lambda c, it=items: c.mset(it))
+                            copied += len(items)
+                            skeys.update(k for k, _ in items)
+                    except StoreError:
+                        break
+            # 3) push: acked writes only s holds (its peers were down too)
+            for d, dk in peer_keys.items():
+                give = [k for k in skeys
+                        if not k.startswith(_TOMB) and k not in dk
+                        and k not in all_tombs
+                        and d in self._replicas_for(k)]
+                for chunk in _chunks(give, self.config.batch_keys):
+                    try:
+                        values = self._shard_op(s, lambda c, ks=chunk: c.mget(ks))
+                        items = [(k, v) for k, v in zip(chunk, values)
+                                 if v is not None]
+                        if items:
+                            self._shard_op(d, lambda c, it=items: c.mset(it))
+                            copied += len(items)
+                    except StoreError:
+                        break
+            if copied:
+                self.stats.note_read_repair(copied)
+            if sp:
+                sp.set(shard=s, copied=copied, pruned=len(dead))
+
+    def _gc_tombstones(self) -> None:
+        """Drop deletion markers once every shard is healthy again."""
+        for idx in range(len(self._pools)):
+            try:
+                tombs = self._shard_op(idx, lambda c: c.keys(_TOMB))
+                for chunk in _chunks(tombs, self.config.batch_keys):
+                    self._shard_op(idx, lambda c, ks=chunk: c.mdelete(ks))
+            except StoreError:
+                return  # a shard vanished again; keep markers, retry later
+        self._tombstones = False
+
+    # --- introspection ----------------------------------------------------
+
+    def replica_health(self) -> Dict[str, Any]:
+        """Per-shard health snapshot for telemetry and the CLI."""
+        with self._health_lock:
+            shards = [
+                {"address": f"{addr[0]}:{addr[1]}", "up": st.up}
+                for addr, st in zip(self.addresses, self._states)
+            ]
+            pending = len(self._repair_pending)
+        return {
+            "replication": self.replication,
+            "nshards": len(shards),
+            "up": sum(1 for s in shards if s["up"]),
+            "shards": shards,
+            "pending_repairs": pending,
+        }
 
     def close(self) -> None:
-        for client in self.clients:
+        for pool in self._pools:
+            pool.close()
+        for client in self._probers + self.clients:
             client.close()
 
 
@@ -641,13 +1548,21 @@ class NetKVStore(DataStore):
     @classmethod
     def connect(cls, addresses: List[Tuple[str, int]],
                 config: Optional[TransportConfig] = None,
-                rng: Optional[np.random.Generator] = None) -> "NetKVStore":
-        return cls(NetKVCluster(addresses, config=config, rng=rng))
+                rng: Optional[np.random.Generator] = None,
+                replication: int = 1,
+                probe_cooldown: float = 0.25) -> "NetKVStore":
+        return cls(NetKVCluster(addresses, config=config, rng=rng,
+                                replication=replication,
+                                probe_cooldown=probe_cooldown))
 
     @property
     def transport_stats(self) -> TransportStats:
         """Wire-level counters across every shard of the cluster."""
         return self.cluster.stats
+
+    def replica_health(self) -> Dict[str, Any]:
+        """Per-shard health snapshot (see NetKVCluster.replica_health)."""
+        return self.cluster.replica_health()
 
     def write(self, key: str, data: bytes) -> None:
         self.cluster.set(validate_key(key), data)
@@ -663,6 +1578,52 @@ class NetKVStore(DataStore):
 
     def move(self, src: str, dst: str) -> None:
         self.cluster.rename(src, validate_key(dst))
+
+    # --- batched overrides (one MGET/MSET/MDEL round trip per shard) ------
+    #
+    # __init_subclass__ auto-instruments only the five primitives, so
+    # these count their own IOStats and open their own trace spans.
+
+    def read_present(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        keys = list(keys)
+        with trace.span("store.read_many") as sp:
+            values = self.cluster.mget(keys)
+            out = {k: v for k, v in zip(keys, values) if v is not None}
+            for v in out.values():
+                self.stats.note("read", len(v))
+            if sp:
+                sp.set(keys=len(keys), found=len(out),
+                       bytes=sum(len(v) for v in out.values()))
+        return out
+
+    def read_many(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        keys = list(keys)
+        found = self.read_present(keys)
+        for k in keys:
+            if k not in found:
+                raise KeyNotFound(k)
+        return found
+
+    def write_many(self, items: Union[Mapping[str, bytes],
+                                      Iterable[Tuple[str, bytes]]]) -> None:
+        pairs = list(items.items()) if hasattr(items, "items") else list(items)
+        with trace.span("store.write_many") as sp:
+            self.cluster.mset([(validate_key(k), v) for k, v in pairs])
+            for _, v in pairs:
+                self.stats.note("write", len(v))
+            if sp:
+                sp.set(keys=len(pairs), bytes=sum(len(v) for _, v in pairs))
+
+    def delete_many(self, keys: Iterable[str]) -> int:
+        keys = list(keys)
+        with trace.span("store.delete_many") as sp:
+            flags = self.cluster.mdelete(keys)
+            for _ in keys:
+                self.stats.note("delete")
+            removed = sum(flags)
+            if sp:
+                sp.set(keys=len(keys), removed=removed)
+        return removed
 
     def close(self) -> None:
         self.cluster.close()

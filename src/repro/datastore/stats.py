@@ -161,6 +161,18 @@ class TransportStats:
     spent the whole retry budget and raised ``StoreUnavailable``;
     ``bytes_sent`` / ``bytes_received`` — payload volume in bytes;
     ``latency`` — a :class:`LatencyHistogram` of round-trip times.
+
+    Replicated-cluster counters: ``failovers`` — reads served by a
+    non-primary replica because an earlier replica was down or missed
+    the key; ``shard_down_events`` / ``shard_up_events`` — health
+    transitions (fail-over and fail-back); ``read_repairs`` — stale or
+    missing replica copies refreshed from a healthy peer;
+    ``rename_orphans`` — two-phase renames whose delete leg could not
+    complete (the source copy survives on a dead shard as a duplicate,
+    never as a loss). Pipelining counters: ``batched_requests`` —
+    MGET/MSET/MDEL round trips; ``batched_keys`` — keys carried by
+    those round trips; ``max_batch_keys`` — the deepest single batch
+    (pipeline-depth high-water mark, a count not a cumulative sum).
     """
 
     def __init__(self) -> None:
@@ -173,6 +185,14 @@ class TransportStats:
         self.exhausted = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.failovers = 0
+        self.shard_down_events = 0
+        self.shard_up_events = 0
+        self.read_repairs = 0
+        self.rename_orphans = 0
+        self.batched_requests = 0
+        self.batched_keys = 0
+        self.max_batch_keys = 0
         self.latency = LatencyHistogram()
 
     def note_request(self, nbytes_sent: int) -> None:
@@ -201,6 +221,33 @@ class TransportStats:
         with self._lock:
             self.exhausted += 1
 
+    def note_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def note_shard_down(self) -> None:
+        with self._lock:
+            self.shard_down_events += 1
+
+    def note_shard_up(self) -> None:
+        with self._lock:
+            self.shard_up_events += 1
+
+    def note_read_repair(self, nkeys: int = 1) -> None:
+        with self._lock:
+            self.read_repairs += nkeys
+
+    def note_rename_orphan(self) -> None:
+        with self._lock:
+            self.rename_orphans += 1
+
+    def note_batch(self, nkeys: int) -> None:
+        with self._lock:
+            self.batched_requests += 1
+            self.batched_keys += nkeys
+            if nkeys > self.max_batch_keys:
+                self.max_batch_keys = nkeys
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -212,6 +259,14 @@ class TransportStats:
                 "exhausted": self.exhausted,
                 "bytes_sent": self.bytes_sent,
                 "bytes_received": self.bytes_received,
+                "failovers": self.failovers,
+                "shard_down_events": self.shard_down_events,
+                "shard_up_events": self.shard_up_events,
+                "read_repairs": self.read_repairs,
+                "rename_orphans": self.rename_orphans,
+                "batched_requests": self.batched_requests,
+                "batched_keys": self.batched_keys,
+                "max_batch_keys": self.max_batch_keys,
                 "latency": self.latency.as_dict(),
             }
 
@@ -220,4 +275,7 @@ class TransportStats:
             self.requests = self.retries = self.timeouts = 0
             self.reconnects = self.protocol_errors = self.exhausted = 0
             self.bytes_sent = self.bytes_received = 0
+            self.failovers = self.shard_down_events = self.shard_up_events = 0
+            self.read_repairs = self.rename_orphans = 0
+            self.batched_requests = self.batched_keys = self.max_batch_keys = 0
             self.latency.reset()

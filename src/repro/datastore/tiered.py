@@ -124,6 +124,51 @@ class TieredStore(DataStore):
         self.write(dst, data)
         self.delete(src)
 
+    # --- batched defaults, tier-aware ------------------------------------
+
+    def read_present(self, keys) -> dict:
+        """Batched read across both tiers: one fast-tier batch, then one
+        backing-tier batch for the misses (promoted back like reads)."""
+        keys = list(keys)
+        try:
+            found = dict(self.fast.read_present(keys))
+        except StoreUnavailable:
+            self.degraded_ops += 1
+            found = {}
+        missing = [k for k in keys if k not in found]
+        if missing:
+            recovered = self.backing.read_present(missing)
+            found.update(recovered)
+            if self.promote_on_read and recovered:
+                try:
+                    self.fast.write_many(recovered)
+                except StoreUnavailable:
+                    self.degraded_ops += 1
+        return found
+
+    def read_many(self, keys) -> dict:
+        keys = list(keys)
+        found = self.read_present(keys)
+        for k in keys:
+            if k not in found:
+                raise KeyNotFound(k)
+        return found
+
+    def write_many(self, items) -> None:
+        pairs = list(items.items()) if hasattr(items, "items") else list(items)
+        persistent = [(k, v) for k, v in pairs if self._persistent(k)]
+        try:
+            self.fast.write_many(pairs)
+        except StoreUnavailable:
+            self.degraded_ops += 1
+            if persistent:
+                self.backing.write_many(persistent)
+            if len(persistent) < len(pairs):
+                raise  # some keys would live solely in the dead fast tier
+            return
+        if persistent:
+            self.backing.write_many(persistent)
+
     def close(self) -> None:
         self.fast.close()
         self.backing.close()

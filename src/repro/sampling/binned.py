@@ -229,6 +229,30 @@ class BinnedSampler(Sampler):
     def ncandidates(self) -> int:
         return self._total
 
+    def candidate_ids(self) -> set:
+        """Snapshot of every queued candidate id."""
+        return set(self._ids)
+
+    def discard(self, point_id: str) -> bool:
+        """Withdraw one candidate without selecting it; returns whether
+        it was present. Unlike selection, a discard does not touch the
+        simulated-density counts — the candidate was never run."""
+        if point_id not in self._ids:
+            return False
+        for bin_id, bucket in self._bins.items():
+            for i, (pid, _) in enumerate(bucket):
+                if pid != point_id:
+                    continue
+                bucket[i] = bucket[-1]
+                bucket.pop()
+                if not bucket:
+                    del self._bins[bin_id]
+                    self._occ_remove(bin_id)
+                self._ids.discard(point_id)
+                self._total -= 1
+                return True
+        return False
+
     def select(self, k: int, now: float = 0.0) -> List[Point]:
         """Consume ``k`` candidates, preferring under-simulated bins."""
         if k < 1:

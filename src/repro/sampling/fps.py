@@ -211,6 +211,10 @@ class FarthestPointSampler(Sampler):
     def ncandidates(self) -> int:
         return sum(len(q) for q in self.queues.values())
 
+    def candidate_ids(self) -> set:
+        """Snapshot of every queued candidate id across all queues."""
+        return {p.id for q in self.queues.values() for p in q.points()}
+
     def nselected(self) -> int:
         return len(self._selected_ids)
 

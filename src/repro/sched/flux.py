@@ -89,8 +89,14 @@ class FluxInstance:
             return
         if record.state is JobState.RUNNING:
             self.queue.finish(record, self.loop.now, JobState.CANCELLED)
-        else:
-            self.queue.cancel_pending(record, self.loop.now)
+        elif not self.queue.cancel_pending(record, self.loop.now):
+            # The queue no longer holds the record (e.g. a cycle in
+            # flight popped it between our state check and now). Force
+            # the terminal state here — the callback must never observe
+            # a live-looking cancelled job, and a forced-terminal record
+            # is skipped by _complete if the cycle does start it.
+            record.state = JobState.CANCELLED
+            record.end_time = self.loop.now
         callback = self._on_complete.pop(record.job_id, None)
         if callback is not None:
             callback(record)

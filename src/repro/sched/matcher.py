@@ -130,7 +130,11 @@ class Matcher:
             self._rr_cursor, spec.nnodes, spec.ncores, spec.ngpus, spec.exclusive
         )
         self.stats.vertices_visited += scanned
-        if ids:
+        if len(ids) >= spec.nnodes:
+            # Advance only when the request can actually place. A partial
+            # multi-node hit must not rotate the cursor, or a string of
+            # failed attempts walks it past the few feasible nodes and
+            # the next feasible job starts scanning from the wrong spot.
             self._rr_cursor = (ids[-1] + 1) % len(graph.nodes)
         return [graph.nodes[i] for i in ids]
 

@@ -13,6 +13,7 @@ Override per test with ``@pytest.mark.timeout(seconds)``.
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 
@@ -32,6 +33,20 @@ def pytest_configure(config):
         "timeout(seconds): fail the test if its call phase exceeds the "
         f"watchdog (default {DEFAULT_TIMEOUT_SECONDS:.0f}s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "multi_server: test spins up several live NetKV servers at once; "
+        "set REPRO_SKIP_MULTI_SERVER=1 to skip on constrained runners",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not os.environ.get("REPRO_SKIP_MULTI_SERVER"):
+        return
+    skip = pytest.mark.skip(reason="REPRO_SKIP_MULTI_SERVER is set")
+    for item in items:
+        if item.get_closest_marker("multi_server"):
+            item.add_marker(skip)
 
 
 @pytest.hookimpl(wrapper=True)
