@@ -1,0 +1,41 @@
+"""Deterministic chaos campaigns for the coordination stack.
+
+Everything here runs on virtual time: a seeded
+:class:`~repro.chaos.schedule.FaultSchedule` injects shard failures,
+wire corruption, worker stalls, checkpoint/restore handovers, and
+clock skips at exact virtual instants; an
+:class:`~repro.chaos.invariants.InvariantSuite` checks the system's
+coordination guarantees after every workflow round; and a
+:class:`~repro.chaos.fuzzer.CampaignFuzzer` samples random schedules
+and delta-debugs any failure down to a minimal JSON replay file.
+
+See CHAOS.md at the repo root for the schedule DSL, the invariant
+catalog, and a worked replay example.
+"""
+
+from repro.chaos.fuzzer import (CampaignFuzzer, FuzzFailure, FuzzResult,
+                                load_replay, save_replay)
+from repro.chaos.harness import (CampaignReport, ChaosAdapter, ChaosCampaign,
+                                 ChaosConfig)
+from repro.chaos.invariants import InvariantSuite, Violation, selector_equivalence
+from repro.chaos.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.chaos.store import ChaosStore
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "ChaosStore",
+    "InvariantSuite",
+    "Violation",
+    "selector_equivalence",
+    "ChaosAdapter",
+    "ChaosConfig",
+    "ChaosCampaign",
+    "CampaignReport",
+    "CampaignFuzzer",
+    "FuzzFailure",
+    "FuzzResult",
+    "save_replay",
+    "load_replay",
+]

@@ -1,0 +1,218 @@
+"""Randomized campaigns plus delta-debugging shrinking.
+
+The :class:`CampaignFuzzer` samples N fault schedules from one seed,
+runs each as a full :class:`~repro.chaos.harness.ChaosCampaign`, and
+collects the invariant reports. When a campaign fails, the schedule is
+*shrunk* before being reported: events are dropped one at a time (to a
+fixpoint) and the survivors relaxed (rates halved, stalls and skips
+shortened) for as long as the campaign still violates an invariant.
+The result is a minimal reproducer — typically one or two fault events
+— saved as a JSON replay file that ``repro chaos --replay FILE`` (or
+:func:`load_replay` + :class:`ChaosCampaign`) re-executes exactly.
+
+A campaign that *crashes* (any unexpected exception) is treated as a
+failure with a synthetic ``crash`` violation: the chaos harness must
+never take the workflow down, only degrade it.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.harness import CampaignReport, ChaosCampaign, ChaosConfig
+from repro.chaos.invariants import Violation
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.util.rng import RngStream
+
+__all__ = ["CampaignFuzzer", "FuzzFailure", "FuzzResult",
+           "save_replay", "load_replay"]
+
+REPLAY_VERSION = 1
+
+
+def save_replay(path: str, schedule: FaultSchedule, config: ChaosConfig) -> None:
+    """Write a self-contained reproducer file for ``repro chaos --replay``."""
+    payload = {
+        "version": REPLAY_VERSION,
+        "config": {
+            "seed": config.seed,
+            "rounds": config.rounds,
+            "round_seconds": config.round_seconds,
+            "nshards": config.nshards,
+            "replication": config.replication,
+        },
+        "events": schedule.to_json(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_replay(path: str) -> tuple:
+    """Read a reproducer file; returns ``(schedule, config)``."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("version") != REPLAY_VERSION:
+        raise ValueError(f"unsupported replay version {payload.get('version')!r}")
+    config = ChaosConfig(**payload["config"])
+    return FaultSchedule.from_json(payload["events"]), config
+
+
+@dataclass
+class FuzzFailure:
+    """One failing campaign: the original and the shrunk reproducer."""
+
+    campaign_index: int
+    schedule: FaultSchedule
+    shrunk: FaultSchedule
+    violations: List[Violation]
+    shrink_runs: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "campaign_index": self.campaign_index,
+            "schedule": self.schedule.to_json(),
+            "shrunk": self.shrunk.to_json(),
+            "violations": [v.to_json() for v in self.violations],
+            "shrink_runs": self.shrink_runs,
+        }
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing session."""
+
+    campaigns: int = 0
+    reports: List[CampaignReport] = field(default_factory=list)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class CampaignFuzzer:
+    """Sample seeded schedules, run campaigns, shrink any failure."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rounds: int = 10,
+        round_seconds: float = 60.0,
+        nshards: int = 4,
+        replication: int = 2,
+        max_events: int = 8,
+        campaign_factory=None,
+    ) -> None:
+        self.seed = seed
+        self.rounds = rounds
+        self.round_seconds = round_seconds
+        self.nshards = nshards
+        self.replication = replication
+        self.max_events = max_events
+        # Test hook: the planted-bug tests swap in a factory that builds
+        # a deliberately broken campaign.
+        self._factory = campaign_factory or (
+            lambda schedule, config: ChaosCampaign(schedule, config)
+        )
+        self._runs = 0
+
+    def _config(self) -> ChaosConfig:
+        return ChaosConfig(
+            seed=self.seed, rounds=self.rounds,
+            round_seconds=self.round_seconds, nshards=self.nshards,
+            replication=self.replication,
+        )
+
+    def run_one(self, schedule: FaultSchedule) -> CampaignReport:
+        """Run one campaign; a crash becomes a ``crash`` violation."""
+        self._runs += 1
+        config = self._config()
+        try:
+            return self._factory(schedule, config).run()
+        except Exception:
+            tb = traceback.format_exc(limit=4)
+            return CampaignReport(
+                seed=config.seed, rounds=config.rounds,
+                schedule=schedule.to_json(),
+                violations=[Violation("crash", -1, tb.strip())],
+                counters={}, chaos={}, store={}, nspans=0,
+            )
+
+    def sample_schedule(self, index: int) -> FaultSchedule:
+        rng = RngStream(self.seed).child(f"campaign-{index}")
+        return FaultSchedule.sample(
+            rng, rounds=self.rounds, round_seconds=self.round_seconds,
+            nshards=self.nshards, max_events=self.max_events,
+        )
+
+    def run(self, ncampaigns: int, shrink: bool = True) -> FuzzResult:
+        result = FuzzResult(campaigns=ncampaigns)
+        for i in range(ncampaigns):
+            schedule = self.sample_schedule(i)
+            report = self.run_one(schedule)
+            result.reports.append(report)
+            if report.ok:
+                continue
+            runs_before = self._runs
+            shrunk = self.shrink(schedule) if shrink else schedule
+            result.failures.append(FuzzFailure(
+                campaign_index=i,
+                schedule=schedule,
+                shrunk=shrunk,
+                violations=list(report.violations),
+                shrink_runs=self._runs - runs_before,
+            ))
+        return result
+
+    # --- shrinking ----------------------------------------------------------
+
+    def _still_fails(self, schedule: FaultSchedule) -> bool:
+        return not self.run_one(schedule).ok
+
+    def shrink(self, schedule: FaultSchedule) -> FaultSchedule:
+        """Minimize a failing schedule by dropping, then relaxing, events.
+
+        Drop pass (ddmin with chunk size 1, to a fixpoint): remove each
+        event in turn and keep the removal whenever the campaign still
+        fails. Relax pass: halve delay/garble rates, shorten stalls and
+        clock skips — keeping each relaxation that preserves failure.
+        Every probe is a full deterministic campaign, so the shrunk
+        schedule provably still reproduces the violation.
+        """
+        current = schedule
+        changed = True
+        while changed and len(current) > 1:
+            changed = False
+            for i in range(len(current)):
+                candidate = current.without(i)
+                if self._still_fails(candidate):
+                    current = candidate
+                    changed = True
+                    break
+        current = self._relax(current)
+        return current
+
+    def _relax(self, schedule: FaultSchedule) -> FaultSchedule:
+        current = schedule
+        for i, event in enumerate(current.events):
+            relaxed = self._relaxed_event(event)
+            if relaxed is None:
+                continue
+            candidate = current.replaced(i, relaxed)
+            if self._still_fails(candidate):
+                current = candidate
+        return current
+
+    @staticmethod
+    def _relaxed_event(event: FaultEvent) -> Optional[FaultEvent]:
+        if event.kind in ("delay", "garble") and event.arg > 0.1:
+            return FaultEvent(event.at, event.kind, round(event.arg / 2, 4))
+        if event.kind == "stall" and event.arg > 1:
+            return FaultEvent(event.at, event.kind, float(int(event.arg) // 2))
+        if event.kind == "clock_skip" and event.arg > 30.0:
+            return FaultEvent(event.at, event.kind, round(event.arg / 2, 4))
+        return None

@@ -1,0 +1,334 @@
+"""ChaosStore: an in-process replicated store the harness can break.
+
+The live NetKV cluster replicates writes across consecutive shards,
+acks on the first healthy copy, fails reads over in placement order,
+read-repairs stale replicas, and masks deletes with tombstones. Chaos
+campaigns need those *semantics* without sockets or threads, so this
+store reimplements them deterministically on plain dicts:
+
+- placement: ``key_slot(key) % nshards`` plus ``replication - 1``
+  consecutive followers — the same slot math as the KV cluster;
+- every write carries a monotonically increasing version; reads return
+  the newest copy among healthy, *current* replicas;
+- a write that misses a downed replica leaves a hinted-handoff entry;
+  a replica with a hint for a key is not current for it and is never
+  allowed to serve a stale answer — if no current replica is up the
+  read raises ``StoreUnavailable`` instead of silently losing the
+  acked value;
+- deletes write tombstones (versioned ``None``), which are only
+  garbage-collected when every replica is healthy and fully repaired;
+- ``shard_up`` triggers anti-entropy repair of all outstanding hints.
+
+The store keeps its own *ack log* — the last value (or deletion) each
+key was acknowledged with. :meth:`verify_acked` replays the log against
+the cluster, which is exactly the "no acked write lost across
+failovers" and "tombstones never resurrect deletes" invariants.
+
+Wire-level misbehaviour (delay/garble) comes from a
+:class:`~repro.util.faults.NetworkFaultInjector`: faults are modeled as
+retried round trips that cost deterministic virtual time (the hardened
+transport absorbs them in production), accounted in a
+:class:`~repro.datastore.stats.TransportStats` so the existing
+telemetry report renders a chaos campaign with zero changes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.datastore.base import (
+    DataStore,
+    KeyNotFound,
+    StoreError,
+    StoreUnavailable,
+    validate_key,
+)
+from repro.datastore.kvstore import key_slot
+from repro.datastore.stats import TransportStats
+from repro.util.faults import NetworkFaultInjector
+
+__all__ = ["ChaosStore"]
+
+# (version, payload); payload None is a tombstone.
+_Entry = Tuple[int, Optional[bytes]]
+
+
+class ChaosStore(DataStore):
+    """Deterministic replicated shard cluster with injectable failures."""
+
+    def __init__(
+        self,
+        nshards: int = 4,
+        replication: int = 2,
+        injector: Optional[NetworkFaultInjector] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if nshards < 1:
+            raise StoreError("ChaosStore needs at least one shard")
+        if not 1 <= replication <= nshards:
+            raise StoreError(
+                f"replication must be in [1, {nshards}], got {replication}"
+            )
+        self.nshards = nshards
+        self.replication = replication
+        self.injector = injector if injector is not None else NetworkFaultInjector(
+            rng=rng if rng is not None else np.random.default_rng(0)
+        )
+        self._shards: List[Dict[str, _Entry]] = [dict() for _ in range(nshards)]
+        self._down: List[bool] = [False] * nshards
+        # Hinted handoff: per shard, the keys whose newest write it missed.
+        self._pending: List[Set[str]] = [set() for _ in range(nshards)]
+        self._version = 0
+        self._lock = threading.RLock()
+        self.transport_stats = TransportStats()
+        self.acked: Dict[str, Optional[bytes]] = {}
+        self.fault_counts: Dict[str, int] = {
+            "delayed": 0, "garbled": 0, "unavailable": 0,
+        }
+        self._virtual_delay = 0.0
+
+    # --- placement / wire model ------------------------------------------
+
+    def _replicas(self, key: str) -> List[int]:
+        base = key_slot(key) % self.nshards
+        return [(base + r) % self.nshards for r in range(self.replication)]
+
+    def _ups(self, key: str) -> List[int]:
+        return [i for i in self._replicas(key) if not self._down[i]]
+
+    def _touch(self, nbytes: int = 0) -> None:
+        """One logical op hits the wire: account it, maybe misbehave."""
+        self.transport_stats.note_request(nbytes)
+        fate = self.injector.request_fate()
+        if fate == "delay":
+            self._virtual_delay += self.injector.delay_duration()
+            self.fault_counts["delayed"] += 1
+        elif fate in ("close", "garbage"):
+            # The hardened transport retries these; charge the retry.
+            self.transport_stats.note_retry(
+                timed_out=(fate == "close"), protocol=(fate == "garbage")
+            )
+            self._virtual_delay += self.injector.delay_duration()
+            self.fault_counts["garbled"] += 1
+
+    def _unavailable(self, key: str, why: str) -> StoreUnavailable:
+        self.transport_stats.note_exhausted()
+        self.fault_counts["unavailable"] += 1
+        return StoreUnavailable(f"chaos store: {why} for key {key!r}")
+
+    # --- core replicated ops (uninstrumented internals) --------------------
+
+    def _put(self, key: str, payload: Optional[bytes]) -> None:
+        """Replicate one versioned write (payload None = tombstone).
+
+        Raises ``StoreUnavailable`` (nothing acked, nothing written)
+        when no replica is up; otherwise acks and hints the rest.
+        """
+        ups = self._ups(key)
+        if not ups:
+            raise self._unavailable(key, "all replicas down")
+        self._version += 1
+        entry: _Entry = (self._version, payload)
+        for i in self._replicas(key):
+            if self._down[i]:
+                self._pending[i].add(key)
+            else:
+                self._shards[i][key] = entry
+                self._pending[i].discard(key)
+        self.acked[key] = payload
+
+    def _lookup(self, key: str, repair: bool = True) -> bytes:
+        """Newest live value among healthy *current* replicas.
+
+        A replica with an outstanding hint for ``key`` may be stale and
+        never serves it; if no current replica is up the answer is
+        unknowable and the read refuses rather than risk returning a
+        value older than one already acked.
+
+        ``repair=False`` makes the lookup observation-only: the
+        invariant checkers use it so that *verifying* the store cannot
+        read-repair away the very divergence being checked for.
+        """
+        reps = self._replicas(key)
+        ups = [i for i in reps if not self._down[i]]
+        if not ups:
+            raise self._unavailable(key, "all replicas down")
+        current = [i for i in ups if key not in self._pending[i]]
+        if not current:
+            raise self._unavailable(key, "no current replica up")
+        best_ver, best_payload, best_shard = -1, None, current[0]
+        for i in current:
+            entry = self._shards[i].get(key)
+            if entry is not None and entry[0] > best_ver:
+                best_ver, best_payload, best_shard = entry[0], entry[1], i
+        if repair and best_shard != reps[0]:
+            self.transport_stats.note_failover()
+        if repair and best_ver >= 0:
+            # Read repair: refresh hinted/stale healthy replicas in passing.
+            for i in ups:
+                entry = self._shards[i].get(key)
+                if entry is None or entry[0] < best_ver:
+                    self._shards[i][key] = (best_ver, best_payload)
+                    self._pending[i].discard(key)
+                    self.transport_stats.note_read_repair()
+        if best_ver < 0 or best_payload is None:
+            raise KeyNotFound(key)
+        return best_payload
+
+    # --- DataStore primitives ---------------------------------------------
+
+    def write(self, key: str, data: bytes) -> None:
+        with self._lock:
+            self._touch(len(data))
+            self._put(validate_key(key), bytes(data))
+
+    def read(self, key: str) -> bytes:
+        with self._lock:
+            value = self._lookup(key)
+            self._touch(len(value))
+            return value
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._touch()
+            self._lookup(key)  # raises KeyNotFound / StoreUnavailable
+            self._put(key, None)
+
+    def move(self, src: str, dst: str) -> None:
+        with self._lock:
+            self._touch()
+            value = self._lookup(src)
+            if not self._ups(validate_key(dst)):
+                raise self._unavailable(dst, "all replicas down")
+            self._put(dst, value)
+            self._put(src, None)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        with self._lock:
+            self._touch()
+            # A fully-dead replica window would silently lose its whole
+            # key range from the scan — refuse instead (NetKV semantics).
+            for base in range(self.nshards):
+                group = [(base + r) % self.nshards for r in range(self.replication)]
+                if all(self._down[i] for i in group):
+                    raise self._unavailable(prefix or "*", "replica group down")
+            candidates: Set[str] = set()
+            for i, shard in enumerate(self._shards):
+                if not self._down[i]:
+                    candidates.update(shard)
+                candidates.update(self._pending[i])
+            out = []
+            for key in sorted(candidates):
+                if not key.startswith(prefix):
+                    continue
+                try:
+                    self._lookup(key)
+                except KeyNotFound:
+                    continue
+                out.append(key)
+            return out
+
+    # --- failure control ----------------------------------------------------
+
+    def shard_down(self, index: int) -> None:
+        with self._lock:
+            i = index % self.nshards
+            if not self._down[i]:
+                self._down[i] = True
+                self.transport_stats.note_shard_down()
+
+    def shard_up(self, index: int) -> None:
+        with self._lock:
+            i = index % self.nshards
+            if self._down[i]:
+                self._down[i] = False
+                self.transport_stats.note_shard_up()
+            self._repair_all()
+
+    def heal_all(self) -> None:
+        """Revive every shard and run anti-entropy to convergence."""
+        with self._lock:
+            for i in range(self.nshards):
+                if self._down[i]:
+                    self._down[i] = False
+                    self.transport_stats.note_shard_up()
+            self._repair_all()
+
+    def _repair_all(self) -> None:
+        """Drain hinted handoffs wherever a healthy donor exists."""
+        for i in range(self.nshards):
+            if self._down[i]:
+                continue
+            for key in sorted(self._pending[i]):
+                donors = [
+                    j for j in self._replicas(key)
+                    if j != i and not self._down[j] and key not in self._pending[j]
+                ]
+                best: Optional[_Entry] = None
+                for j in donors:
+                    entry = self._shards[j].get(key)
+                    if entry is not None and (best is None or entry[0] > best[0]):
+                        best = entry
+                if best is not None:
+                    self._shards[i][key] = best
+                    self._pending[i].discard(key)
+                    self.transport_stats.note_read_repair()
+        if not any(self._down) and not any(self._pending):
+            self._gc_tombstones()
+
+    def _gc_tombstones(self) -> None:
+        """Drop tombstones — only safe once every replica has seen them."""
+        for shard in self._shards:
+            for key in [k for k, (_, payload) in shard.items() if payload is None]:
+                del shard[key]
+
+    # --- invariant hooks ------------------------------------------------------
+
+    def verify_acked(self, strict: bool = False) -> List[str]:
+        """Replay the ack log against the cluster; returns problem strings.
+
+        Non-strict mode skips keys whose replica set is currently
+        unreadable (mid-campaign check); strict mode — run after
+        :meth:`heal_all` — treats unreadability as a failure too.
+        """
+        problems: List[str] = []
+        with self._lock:
+            for key in sorted(self.acked):
+                expect = self.acked[key]
+                try:
+                    got = self._lookup(key, repair=False)
+                except KeyNotFound:
+                    if expect is not None:
+                        problems.append(f"acked write lost: {key}")
+                    continue
+                except StoreUnavailable:
+                    if strict:
+                        problems.append(f"unverifiable after heal: {key}")
+                    continue
+                if expect is None:
+                    problems.append(f"tombstone resurrected delete: {key}")
+                elif got != expect:
+                    problems.append(f"stale read (not the acked value): {key}")
+        return problems
+
+    def replica_health(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "replication": self.replication,
+                "nshards": self.nshards,
+                "up": sum(1 for d in self._down if not d),
+                "pending_repairs": sum(len(p) for p in self._pending),
+                "shards": [
+                    {"address": f"chaos://shard{i}", "up": not self._down[i]}
+                    for i in range(self.nshards)
+                ],
+            }
+
+    def drain_virtual_delay(self) -> float:
+        """Return and reset virtual seconds lost to injected wire faults."""
+        with self._lock:
+            t, self._virtual_delay = self._virtual_delay, 0.0
+            return t

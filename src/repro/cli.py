@@ -18,6 +18,11 @@ trace
 netkv
     Serve networked KV shards, or probe a ``netkv://`` cluster and
     print per-replica health.
+chaos
+    Run seeded chaos campaigns against the full coordination stack on
+    virtual time, checking system invariants after every round; fuzz
+    random fault schedules and shrink any failure to a minimal replay
+    file, or re-execute a saved replay.
 info
     Print the package version and subsystem inventory.
 """
@@ -81,6 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-replica health (exit 1 if any shard is down)")
     p_netkv.add_argument("--host", default="127.0.0.1",
                          help="bind address for --serve")
+
+    p_chaos = sub.add_parser("chaos", help="seeded chaos campaigns with invariant checks")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--rounds", type=int, default=10,
+                         help="WM rounds per campaign")
+    p_chaos.add_argument("--campaigns", type=int, default=5,
+                         help="number of random campaigns to fuzz")
+    p_chaos.add_argument("--shards", type=int, default=4,
+                         help="ChaosStore shard count")
+    p_chaos.add_argument("--replication", type=int, default=2,
+                         help="replicas per key")
+    p_chaos.add_argument("--max-events", type=int, default=8,
+                         help="max fault events per sampled schedule")
+    p_chaos.add_argument("--replay", metavar="FILE",
+                         help="re-run one saved reproducer instead of fuzzing")
+    p_chaos.add_argument("--save-failing", metavar="FILE",
+                         help="write the shrunk reproducer of the first failure here")
+    p_chaos.add_argument("--report", metavar="FILE",
+                         help="write the JSON invariant report(s) here")
+    p_chaos.add_argument("--trace", metavar="FILE",
+                         help="export the last campaign's span trace as JSONL")
 
     sub.add_parser("info", help="package and subsystem inventory")
     return parser
@@ -239,6 +265,79 @@ def _cmd_netkv(args) -> int:
     return 0 if health["up"] == health["nshards"] else 1
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.chaos import (CampaignFuzzer, ChaosCampaign, load_replay,
+                             save_replay)
+
+    def show(report, label: str) -> None:
+        status = "ok" if report.ok else "FAIL"
+        print(f"  {label:>12s}: {status:4s} "
+              f"rounds={report.rounds} spans={report.nspans} "
+              f"faults={report.chaos.get('faults_applied', 0)} "
+              f"violations={len(report.violations)}")
+        for v in report.violations:
+            print(f"      [{v.invariant}] round {v.round}: {v.detail}")
+
+    if args.replay:
+        schedule, config = load_replay(args.replay)
+        campaign = ChaosCampaign(schedule, config)
+        report = campaign.run()
+        print(f"replay {args.replay}: {len(schedule)} fault event(s), "
+              f"seed {config.seed}, {config.rounds} rounds")
+        show(report, "replay")
+        if args.trace:
+            nspans = campaign.export_trace(args.trace)
+            print(f"  wrote {nspans} spans to {args.trace}")
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(report.dumps())
+                fh.write("\n")
+            print(f"  wrote report to {args.report}")
+        return 0 if report.ok else 1
+
+    last_campaign = []
+
+    def factory(schedule, config):
+        campaign = ChaosCampaign(schedule, config)
+        last_campaign[:] = [campaign]
+        return campaign
+
+    fuzzer = CampaignFuzzer(
+        seed=args.seed, rounds=args.rounds, nshards=args.shards,
+        replication=args.replication, max_events=args.max_events,
+        campaign_factory=factory,
+    )
+    print(f"fuzzing {args.campaigns} campaign(s): seed {args.seed}, "
+          f"{args.rounds} rounds, {args.shards} shards "
+          f"(replication {args.replication})")
+    result = fuzzer.run(args.campaigns)
+    for i, report in enumerate(result.reports):
+        show(report, f"campaign {i}")
+    if args.trace and last_campaign:
+        nspans = last_campaign[0].export_trace(args.trace)
+        print(f"  wrote {nspans} spans to {args.trace}")
+    if args.report:
+        payload = [report.to_json() for report in result.reports]
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"  wrote {len(payload)} report(s) to {args.report}")
+    if result.ok:
+        print(f"all {args.campaigns} campaign(s) green")
+        return 0
+    failure = result.failures[0]
+    print(f"{len(result.failures)} failing campaign(s); first shrunk from "
+          f"{len(failure.schedule)} to {len(failure.shrunk)} event(s) "
+          f"in {failure.shrink_runs} extra run(s)")
+    if args.save_failing:
+        save_replay(args.save_failing, failure.shrunk, fuzzer._config())
+        print(f"  wrote reproducer to {args.save_failing} "
+              f"(re-run: repro chaos --replay {args.save_failing})")
+    return 1
+
+
 def _cmd_info(args) -> int:
     print(f"repro {__version__} — MuMMI (SC '21) reproduction")
     inventory = [
@@ -248,6 +347,7 @@ def _cmd_info(args) -> int:
         ("ml", "NumPy MLP, triplet metric learning, 9-D patch encoder"),
         ("sims", "continuum DDFT / CG Martini-like / AA engines + mappings"),
         ("core", "Workflow Manager, feedback, campaign + persistent campaigns"),
+        ("chaos", "seeded fault schedules, invariant suite, campaign fuzzer"),
         ("app", "RAS-RAF application wiring"),
     ]
     for name, desc in inventory:
@@ -262,6 +362,7 @@ _COMMANDS = {
     "emulate": _cmd_emulate,
     "trace": _cmd_trace,
     "netkv": _cmd_netkv,
+    "chaos": _cmd_chaos,
     "info": _cmd_info,
 }
 

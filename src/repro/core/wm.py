@@ -185,6 +185,12 @@ class WorkflowManager:
             "aa_spawned": 0,
             "aa_finished": 0,
             "feedback_iterations": 0,
+            # Candidates discarded at restore because their side-table
+            # entry did not survive; without these the pipeline
+            # conservation invariant (created = selected + queued +
+            # dropped + duplicates + pruned) cannot balance.
+            "patches_pruned": 0,
+            "frames_pruned": 0,
         }
         self.rounds = 0
 
@@ -432,7 +438,10 @@ class WorkflowManager:
         with trace.span("wm.round", round=self.rounds):
             self.task1_process_macro(advance_us)
             self.task3_manage_jobs()
-            if wait and isinstance(self.adapter, ThreadAdapter):
+            # Any adapter that can block on completion (thread pool,
+            # chaos harness) supports deterministic rounds; virtual-time
+            # adapters (Flux) never block.
+            if wait and hasattr(self.adapter, "wait_all"):
                 self.adapter.wait_all()
                 # Setup jobs may have refilled buffers; start the sims now.
                 self.task3_manage_jobs()
@@ -441,22 +450,42 @@ class WorkflowManager:
         self.rounds += 1
         return self.counters_snapshot()
 
-    def run(self, nrounds: int, advance_us: float = 1.0) -> Dict[str, int]:
+    def run(self, nrounds: int, advance_us: float = 1.0,
+            wait: bool = True) -> Dict[str, int]:
         for _ in range(nrounds):
-            self.round(advance_us)
+            self.round(advance_us, wait=wait)
         return self.counters_snapshot()
 
     # ------------------------------------------------------------------
     # Checkpoint / restore (§4.4 resilience)
     # ------------------------------------------------------------------
 
+    def _quiesce(self) -> None:
+        """Flush in-flight jobs before snapshotting state.
+
+        ``run(wait=False)`` (and the production WM generally) leaves the
+        final round's jobs in flight; a checkpoint taken at that moment
+        used to strand them — their patches were already popped from the
+        side tables, their outputs not yet in the ready buffers, so a
+        restore silently lost that work. Blocking adapters drain first;
+        virtual-time adapters (no ``wait_all``) have nothing to flush.
+        """
+        flush = getattr(self.adapter, "flush", None)
+        if flush is not None:
+            flush()
+        elif hasattr(self.adapter, "wait_all"):
+            self.adapter.wait_all()
+
     def checkpoint(self, key: str = "wm/checkpoint") -> None:
         """Persist WM counters, selector state, histories — and the
         patch/frame side tables the selectors' candidate ids resolve
         against, so a restored WM can actually materialize the
-        candidates its selectors still hold."""
+        candidates its selectors still hold. In-flight jobs are flushed
+        first and the resulting ready buffers persisted, so nothing the
+        pipeline already paid for is stranded by a restore."""
         from repro.sampling.persistence import save_sampler
 
+        self._quiesce()
         with self._selector_guard.locked():
             save_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
             save_sampler(self.store, f"{key}/frame-selector", self.frame_selector)
@@ -467,9 +496,15 @@ class WorkflowManager:
                 for pid, p in patches.items()}
         side.update({f"{key}/frame-table/{fid}": s.to_bytes()
                      for fid, s in systems.items()})
+        with self._buffer_lock:
+            side.update({f"{key}/ready/cg/{i:04d}": s.to_bytes()
+                         for i, s in enumerate(self.cg_ready)})
+            side.update({f"{key}/ready/aa/{i:04d}": s.to_bytes()
+                         for i, s in enumerate(self.aa_ready)})
         stale = [
             k
-            for prefix in (f"{key}/patch-table/", f"{key}/frame-table/")
+            for prefix in (f"{key}/patch-table/", f"{key}/frame-table/",
+                           f"{key}/ready/")
             for k in self.store.keys(prefix)
             if k not in side
         ]
@@ -518,6 +553,11 @@ class WorkflowManager:
                 row["frame_id"]: FrameCandidate.from_json(row)
                 for row in self.store.read_json(f"{key}/frame-candidates")
             }
+        cg_rows = self.store.read_present(sorted(self.store.keys(f"{key}/ready/cg/")))
+        aa_rows = self.store.read_present(sorted(self.store.keys(f"{key}/ready/aa/")))
+        with self._buffer_lock:
+            self.cg_ready = [CGSystem.from_bytes(cg_rows[k]) for k in sorted(cg_rows)]
+            self.aa_ready = [AASystem.from_bytes(aa_rows[k]) for k in sorted(aa_rows)]
         with self._selector_guard.locked():
             if self.store.exists(f"{key}/patch-selector"):
                 load_sampler(self.store, f"{key}/patch-selector", self.patch_selector)
@@ -528,7 +568,9 @@ class WorkflowManager:
             self._frame_by_id = candidates
             for pid in self.patch_selector.candidate_ids() - set(patch_table):
                 self.patch_selector.remove(pid)
+                self._bump("patches_pruned")
             for fid in self.frame_selector.candidate_ids() - set(frame_table):
                 self.frame_selector.discard(fid)
                 self._frame_by_id.pop(fid, None)
+                self._bump("frames_pruned")
         return payload

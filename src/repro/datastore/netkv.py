@@ -361,10 +361,10 @@ class _Handler(socketserver.BaseRequestHandler):
                 if injector is not None:
                     fate = injector.request_fate()
                     if fate == "delay":
+                        seconds = injector.delay_duration()
                         if sp:
-                            sp.event("fault", fate="delay",
-                                     seconds=injector.delay_seconds)
-                        time.sleep(injector.delay_seconds)
+                            sp.event("fault", fate="delay", seconds=seconds)
+                        time.sleep(seconds)
                     elif fate == "close":
                         if sp:
                             sp.event("fault", fate="close")
@@ -373,7 +373,7 @@ class _Handler(socketserver.BaseRequestHandler):
                         if sp:
                             sp.event("fault", fate="garbage")
                         try:
-                            sock.sendall(injector.garbage_bytes)
+                            sock.sendall(injector.garbage_payload())
                         except OSError:
                             pass
                         return

@@ -20,13 +20,18 @@ two points:
   mid-exchange), ``"garbage"`` responds with bytes that are not a valid
   protocol frame (a desynced or corrupted peer).
 
-All draws come from one :class:`numpy.random.Generator` — hand the
-injector a named child stream from :class:`repro.util.rng.RngStream`
-and the fault sequence is reproducible across runs.
+All draws — including the *duration* of a delay
+(:meth:`delay_duration`) and the *payload* of a garbage response
+(:meth:`garbage_payload`) — come from one explicit
+:class:`numpy.random.Generator` behind one lock: hand the injector a
+named child stream from :class:`repro.util.rng.RngStream` and the
+complete fault sequence is byte-identical across runs, which is what
+lets a chaos campaign replay exactly.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 import numpy as np
@@ -79,12 +84,17 @@ class NetworkFaultInjector:
         self.garbage_bytes = bytes(garbage_bytes)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.injected: Dict[str, int] = {mode: 0 for mode in FAULT_MODES}
+        # Server handler threads share one injector; a bare Generator is
+        # not thread-safe, and an unguarded draw would also make the
+        # draw *order* — and hence replays — nondeterministic.
+        self._lock = threading.Lock()
 
     def connection_fate(self) -> Optional[str]:
         """Fate of a newly accepted connection: ``"drop"`` or None."""
-        if self.rates["drop"] and self.rng.random() < self.rates["drop"]:
-            self.injected["drop"] += 1
-            return "drop"
+        with self._lock:
+            if self.rates["drop"] and self.rng.random() < self.rates["drop"]:
+                self.injected["drop"] += 1
+                return "drop"
         return None
 
     def request_fate(self) -> Optional[str]:
@@ -94,12 +104,28 @@ class NetworkFaultInjector:
         each other; the most destructive selected mode wins.
         """
         selected = None
-        for mode in ("delay", "close", "garbage"):  # escalating destructiveness
-            if self.rates[mode] and self.rng.random() < self.rates[mode]:
-                selected = mode
-        if selected is not None:
-            self.injected[selected] += 1
+        with self._lock:
+            for mode in ("delay", "close", "garbage"):  # escalating destructiveness
+                if self.rates[mode] and self.rng.random() < self.rates[mode]:
+                    selected = mode
+            if selected is not None:
+                self.injected[selected] += 1
         return selected
+
+    def delay_duration(self) -> float:
+        """Seconds one ``"delay"`` fault stalls: jittered around
+        ``delay_seconds`` from the injector's own rng, so the sequence
+        of delays replays byte-identically."""
+        with self._lock:
+            return float(self.rng.uniform(0.5, 1.5)) * self.delay_seconds
+
+    def garbage_payload(self) -> bytes:
+        """Payload one ``"garbage"`` fault sends: the unparseable
+        ``garbage_bytes`` marker plus an rng-drawn tail, so corrupt
+        responses vary per fault yet replay byte-identically."""
+        with self._lock:
+            tail = self.rng.integers(0, 256, size=int(self.rng.integers(4, 32)))
+        return self.garbage_bytes + bytes(tail.astype(np.uint8).tolist())
 
     def total_injected(self) -> int:
         return sum(self.injected.values())

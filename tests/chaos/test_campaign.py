@@ -1,0 +1,113 @@
+"""ChaosCampaign: deterministic fault-injected WM runs, end to end."""
+
+import os
+
+import pytest
+
+from repro.chaos import CampaignFuzzer, ChaosCampaign, ChaosConfig, FaultSchedule
+
+# Tier-1 default is 5 campaigns; nightly runs crank this up (see CHAOS.md).
+CAMPAIGNS = int(os.environ.get("REPRO_CHAOS_CAMPAIGNS", "5"))
+
+
+def run_campaign(schedule, rounds=4, seed=1):
+    campaign = ChaosCampaign(schedule, ChaosConfig(seed=seed, rounds=rounds))
+    return campaign, campaign.run()
+
+
+def test_plain_campaign_is_green():
+    campaign, report = run_campaign(FaultSchedule().heal(0.0))
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.counters["patches"] > 0
+    assert report.counters["cg_finished"] > 0
+    assert report.nspans > 0
+    assert campaign.store.replica_health()["up"] == 4
+
+
+def test_shard_outage_campaign_recovers():
+    sched = FaultSchedule().shard_down(30.0, 1).shard_up(150.0, 1)
+    _, report = run_campaign(sched)
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.chaos["faults_applied"] == 2
+
+
+def test_full_replica_group_outage_aborts_rounds_not_invariants():
+    # Two consecutive shards down kills a replica group: rounds abort
+    # with StoreUnavailable, but no acked data may be lost.
+    sched = (FaultSchedule()
+             .shard_down(61.0, 0).shard_down(61.0, 1)
+             .shard_up(150.0, 0).shard_up(150.0, 1))
+    _, report = run_campaign(sched)
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.chaos["rounds_aborted"] > 0
+
+
+def test_checkpoint_restore_mid_campaign_preserves_selectors():
+    sched = FaultSchedule().checkpoint_restore(125.0)
+    campaign, report = run_campaign(sched, rounds=5)
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.chaos["checkpoints"] == 1
+    assert report.chaos["restores"] == 1
+    # The swapped-in WM keeps making progress after the restore.
+    assert report.counters["patches"] == campaign.wm.counters_snapshot()["patches"]
+
+
+def test_stall_wedges_then_drains():
+    campaign, report = run_campaign(FaultSchedule().stall(61.0, 2), rounds=5)
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.chaos["stall_rounds"] == 2
+    assert campaign.adapter.pending() == 0  # final flush drained the wedge
+
+
+def test_clock_skip_and_wire_faults():
+    sched = (FaultSchedule()
+             .delay(10.0, 0.4).garble(10.0, 0.3)
+             .clock_skip(125.0, 500.0).heal(200.0))
+    campaign, report = run_campaign(sched, rounds=5)
+    assert report.ok, [v.to_json() for v in report.violations]
+    assert report.chaos["clock_skips"] == 1
+    faults = report.store["faults"]
+    assert faults["delayed"] + faults["garbled"] > 0
+    # Injected wire faults cost virtual time: the campaign clock ran
+    # past the skip plus the base 5 rounds.
+    assert campaign.clock.now > 500.0
+
+
+def test_campaign_is_byte_identical(tmp_path):
+    sched = (FaultSchedule()
+             .shard_down(30.0, 2).delay(65.0, 0.3)
+             .checkpoint_restore(125.0).shard_up(150.0, 2))
+
+    def one(tag):
+        campaign, report = run_campaign(sched, rounds=5, seed=7)
+        path = tmp_path / f"{tag}.jsonl"
+        campaign.export_trace(str(path))
+        return report.dumps(), path.read_bytes()
+
+    report_a, trace_a = one("a")
+    report_b, trace_b = one("b")
+    assert report_a == report_b
+    assert trace_a == trace_b
+
+
+def test_telemetry_renders_chaos_store():
+    campaign, _ = run_campaign(FaultSchedule().heal(0.0), rounds=2)
+    snapshot = campaign.telemetry()
+    text = snapshot.render() if hasattr(snapshot, "render") else str(snapshot)
+    assert "chaos://shard0" in text or "chaos" in text.lower()
+
+
+@pytest.mark.chaos
+@pytest.mark.timeout(600)
+def test_fixed_seed_fuzz_campaigns_are_green():
+    """The tier-1 randomized layer: REPRO_CHAOS_CAMPAIGNS seeded campaigns.
+
+    Shrinking is disabled — a healthy system should never need it, and
+    if a campaign does fail we want the full schedule in the report.
+    """
+    fuzzer = CampaignFuzzer(seed=2021, rounds=4)
+    result = fuzzer.run(CAMPAIGNS, shrink=False)
+    bad = [(f.campaign_index, [v.to_json() for v in f.violations])
+           for f in result.failures]
+    assert result.ok, bad
+    assert len(result.reports) == CAMPAIGNS

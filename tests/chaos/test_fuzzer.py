@@ -1,0 +1,94 @@
+"""CampaignFuzzer: sampling, crash capture, shrinking, replay files.
+
+The centrepiece is the planted-bug test: we break the ChaosStore's
+hinted-handoff bookkeeping (a write that misses a downed replica leaves
+no hint), fuzz, and require the fuzzer to (a) catch the resulting
+stale-data invariant violations and (b) shrink the failing schedule to
+a handful of fault events whose replay file still reproduces the bug.
+"""
+
+import pytest
+
+from repro.chaos import (CampaignFuzzer, ChaosCampaign, FaultSchedule,
+                         load_replay, save_replay)
+from repro.chaos.store import ChaosStore
+
+
+def buggy_put(self, key, payload):
+    """ChaosStore._put with hinted handoff 'forgotten' (the planted bug).
+
+    Writes that miss a downed replica leave no hint, so the replica
+    rejoins believing it is current and its stale data can be served
+    (or a GC pass can collect a tombstone the replica never saw).
+    """
+    ups = self._ups(key)
+    if not ups:
+        raise self._unavailable(key, "all replicas down")
+    self._version += 1
+    entry = (self._version, payload)
+    for i in self._replicas(key):
+        if not self._down[i]:
+            self._shards[i][key] = entry
+            self._pending[i].discard(key)
+    self.acked[key] = payload
+
+
+def test_sampled_schedules_are_stable_and_distinct():
+    fuzzer = CampaignFuzzer(seed=7, rounds=6)
+    again = CampaignFuzzer(seed=7, rounds=6)
+    schedules = [fuzzer.sample_schedule(i) for i in range(4)]
+    assert schedules == [again.sample_schedule(i) for i in range(4)]
+    assert len({s.dumps() for s in schedules}) > 1
+
+
+def test_crash_becomes_violation_not_exception():
+    def exploding_factory(schedule, config):
+        raise RuntimeError("harness blew up")
+
+    fuzzer = CampaignFuzzer(seed=0, rounds=2, campaign_factory=exploding_factory)
+    report = fuzzer.run_one(FaultSchedule().heal(0.0))
+    assert not report.ok
+    assert report.violations[0].invariant == "crash"
+    assert "harness blew up" in report.violations[0].detail
+
+
+def test_replay_file_round_trip(tmp_path):
+    fuzzer = CampaignFuzzer(seed=3, rounds=6)
+    schedule = fuzzer.sample_schedule(0)
+    path = tmp_path / "replay.json"
+    save_replay(str(path), schedule, fuzzer._config())
+    loaded_schedule, loaded_config = load_replay(str(path))
+    assert loaded_schedule == schedule
+    assert loaded_config == fuzzer._config()
+    with pytest.raises(ValueError):
+        path.write_text(path.read_text().replace('"version": 1', '"version": 9'))
+        load_replay(str(path))
+
+
+@pytest.mark.chaos
+@pytest.mark.timeout(600)
+def test_planted_bug_is_caught_and_shrunk(tmp_path, monkeypatch):
+    monkeypatch.setattr(ChaosStore, "_put", buggy_put)
+    # seed 3 trips the lost-hint bug within a handful of campaigns.
+    fuzzer = CampaignFuzzer(seed=3, rounds=6)
+    result = fuzzer.run(6)
+    assert not result.ok, "planted hinted-handoff bug went undetected"
+
+    failure = result.failures[0]
+    stale_kinds = {"stale_read", "acked_write_lost", "tombstone_resurrection"}
+    assert {v.invariant for v in failure.violations} & stale_kinds
+    # The reproducer must be minimal: a handful of events, not a storm.
+    assert len(failure.shrunk) <= 5
+    assert len(failure.shrunk) <= len(failure.schedule)
+
+    # The shrunk schedule still reproduces through a saved replay file.
+    path = tmp_path / "shrunk.json"
+    save_replay(str(path), failure.shrunk, fuzzer._config())
+    schedule, config = load_replay(str(path))
+    replayed = ChaosCampaign(schedule, config).run()
+    assert not replayed.ok
+
+    # And a healthy store passes the very same replay.
+    monkeypatch.undo()
+    healthy = ChaosCampaign(*load_replay(str(path))).run()
+    assert healthy.ok, [v.to_json() for v in healthy.violations]

@@ -1,0 +1,103 @@
+"""InvariantSuite: each checker fires on seeded corruption, not on health."""
+
+import types
+
+from repro.chaos import ChaosCampaign, ChaosConfig, FaultSchedule, InvariantSuite
+from repro.chaos.invariants import selector_equivalence
+from repro.sched.jobspec import JobSpec
+
+
+def tiny_campaign(rounds=2, schedule=None):
+    campaign = ChaosCampaign(schedule or FaultSchedule().heal(0.0),
+                             ChaosConfig(seed=1, rounds=rounds))
+    campaign.run()
+    return campaign
+
+
+def test_healthy_campaign_has_no_violations():
+    campaign = tiny_campaign()
+    suite = InvariantSuite()
+    assert suite.check_final(campaign, 99) == []
+
+
+def test_counter_conservation_catches_tampering():
+    campaign = tiny_campaign()
+    suite = InvariantSuite()
+    campaign.wm.counters["patches"] += 1
+    out = suite.check_round(campaign, 0)
+    assert any(v.invariant == "counter_conservation" for v in out)
+    campaign.wm.counters["patches"] -= 1
+    campaign.wm.counters["frames_seen"] += 2
+    out = suite.check_round(campaign, 0)
+    assert any("frames" in v.detail for v in out
+               if v.invariant == "counter_conservation")
+
+
+def test_acked_write_loss_maps_to_invariant_names():
+    campaign = tiny_campaign()
+    suite = InvariantSuite()
+    store = campaign.store
+    key = sorted(k for k, v in store.acked.items() if v is not None)[0]
+    for shard in store._shards:
+        shard.pop(key, None)
+    out = suite.check_round(campaign, 3)
+    assert any(v.invariant == "acked_write_lost" and v.round == 3 for v in out)
+
+
+def test_stale_read_maps_to_invariant_name():
+    campaign = tiny_campaign()
+    suite = InvariantSuite()
+    store = campaign.store
+    key = sorted(k for k, v in store.acked.items() if v is not None)[0]
+    for i in store._replicas(key):
+        store._shards[i][key] = (0, b"stale-bytes")
+    out = suite.check_round(campaign, 0)
+    assert any(v.invariant == "stale_read" for v in out)
+
+
+def test_jobs_terminal_catches_stuck_jobs():
+    campaign = tiny_campaign()
+    suite = InvariantSuite()
+    campaign.adapter.submit(JobSpec(name="wedged", tag="wedged#0"))
+    out = suite.check_final(campaign, 5)
+    assert any(v.invariant == "jobs_terminal" and "wedged" in v.detail
+               for v in out)
+    campaign.adapter.flush()
+    assert not any(v.invariant == "jobs_terminal"
+                   for v in suite.check_final(campaign, 5))
+
+
+def test_trace_tree_catches_orphans_and_time_travel():
+    suite = InvariantSuite()
+
+    def fake_tracer(rows, dropped=0):
+        return types.SimpleNamespace(
+            rows=lambda: rows, dropped=dropped,
+            _local=types.SimpleNamespace(stack=[]))
+
+    ok_rows = [
+        {"seq": 0, "span": 1, "parent": None, "name": "root", "t0": 0.0, "t1": 2.0},
+        {"seq": 1, "span": 2, "parent": 1, "name": "child", "t0": 0.5, "t1": 1.0},
+    ]
+    assert suite._trace_tree(fake_tracer(ok_rows), 0) == []
+
+    orphan = [{"seq": 0, "span": 2, "parent": 99, "name": "lost",
+               "t0": 0.0, "t1": 1.0}]
+    out = suite._trace_tree(fake_tracer(orphan), 0)
+    assert any("orphan parent" in v.detail for v in out)
+
+    backwards = [{"seq": 0, "span": 1, "parent": None, "name": "x",
+                  "t0": 5.0, "t1": 1.0}]
+    out = suite._trace_tree(fake_tracer(backwards), 0)
+    assert any("ends before it starts" in v.detail for v in out)
+
+    out = suite._trace_tree(fake_tracer(ok_rows, dropped=3), 0)
+    assert any("dropped" in v.detail for v in out)
+
+
+def test_selector_equivalence_detects_divergence():
+    campaign = tiny_campaign(rounds=1)
+    other = ChaosCampaign(FaultSchedule().heal(0.0), ChaosConfig(seed=1, rounds=1))
+    # Same seed, never run: selectors differ from the 1-round campaign's.
+    out = selector_equivalence(campaign.wm, other.wm, 0)
+    assert any(v.invariant == "selector_equivalence" for v in out)

@@ -1,0 +1,66 @@
+"""FaultSchedule DSL: ordering, serialization, seeded sampling."""
+
+import json
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.util.rng import RngStream
+
+
+def test_builder_keeps_events_sorted():
+    sched = (FaultSchedule()
+             .shard_up(400.0, 1)
+             .shard_down(90.0, 1)
+             .delay(150.0, 0.3)
+             .heal(450.0))
+    assert [e.kind for e in sched] == ["shard_down", "delay", "shard_up", "heal"]
+    assert [e.at for e in sched] == sorted(e.at for e in sched)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(10.0, "meteor_strike")
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "heal")
+
+
+def test_json_round_trip():
+    sched = (FaultSchedule()
+             .shard_down(30.0, 2)
+             .garble(60.0, 0.25)
+             .stall(90.0, 3)
+             .checkpoint_restore(120.0)
+             .clock_skip(150.0, 300.0))
+    clone = FaultSchedule.from_json(json.loads(json.dumps(sched.to_json())))
+    assert clone == sched
+    assert clone.dumps() == sched.dumps()
+
+
+def test_without_and_replaced_are_copies():
+    sched = FaultSchedule().shard_down(10.0, 0).heal(20.0)
+    smaller = sched.without(0)
+    assert len(smaller) == 1 and len(sched) == 2
+    assert smaller.events[0].kind == "heal"
+    swapped = sched.replaced(1, FaultEvent(5.0, "heal"))
+    assert [e.at for e in swapped] == [5.0, 10.0]  # re-sorted
+    assert [e.at for e in sched] == [10.0, 20.0]
+
+
+def test_sample_is_deterministic_per_seed():
+    a = FaultSchedule.sample(RngStream(7).child("campaign-0"), rounds=10)
+    b = FaultSchedule.sample(RngStream(7).child("campaign-0"), rounds=10)
+    c = FaultSchedule.sample(RngStream(8).child("campaign-0"), rounds=10)
+    assert a == b
+    assert a != c
+
+
+def test_sample_respects_bounds():
+    for i in range(20):
+        sched = FaultSchedule.sample(
+            RngStream(3).child(f"campaign-{i}"), rounds=5,
+            round_seconds=60.0, nshards=4, max_events=6)
+        assert 1 <= len(sched) <= 6
+        for event in sched:
+            assert 0.0 <= event.at <= 5 * 60.0
+            assert event.kind in FAULT_KINDS

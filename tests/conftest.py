@@ -38,6 +38,11 @@ def pytest_configure(config):
         "multi_server: test spins up several live NetKV servers at once; "
         "set REPRO_SKIP_MULTI_SERVER=1 to skip on constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: randomized chaos campaign; campaign count scales with "
+        "REPRO_CHAOS_CAMPAIGNS (default 5; see CHAOS.md for nightly settings)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

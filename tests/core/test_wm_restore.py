@@ -96,6 +96,30 @@ class TestRestoreSideTables:
                 for k in store.keys("wm/checkpoint/patch-table/")}
         assert live == set(wm._patch_by_id)
 
+    def test_wait_false_run_then_checkpoint_strands_nothing(self):
+        # Production mode: jobs overlap rounds. A checkpoint taken right
+        # after run(wait=False) used to snapshot while setup jobs were
+        # still in flight, stranding their patches (popped from the
+        # selector, present in no side table) and dropping the prepared
+        # ready buffers on restore.
+        wm, store = make_wm(max_workers=2)
+        wm.run(nrounds=2, wait=False)
+        wm.checkpoint()
+        # checkpoint() quiesced: nothing is in flight afterwards.
+        assert all(t.nactive() == 0 for t in wm.trackers.values())
+        after = wm.counters_snapshot()
+        assert len(wm.cg_ready) + len(wm.aa_ready) > 0
+
+        wm2, _ = make_wm(store=store)
+        wm2.restore()
+        assert wm2.counters_snapshot() == after
+        # The prepared systems survived the restart instead of being
+        # silently re-simulated (or lost) by the restored WM.
+        assert len(wm2.cg_ready) == len(wm.cg_ready)
+        assert len(wm2.aa_ready) == len(wm.aa_ready)
+        wm2.run(nrounds=1)
+        assert wm2.counters_snapshot()["cg_spawned"] >= after["cg_spawned"]
+
     def test_counters_roundtrip_through_checkpoint(self):
         wm, store = make_wm()
         wm.run(nrounds=2)

@@ -193,3 +193,143 @@ def test_property_backends_agree(tmp_path_factory, ops):
         for k, v in model.items():
             assert s.read(k) == v, name
         s.close()
+
+
+# ---------------------------------------------------------------------------
+# Seeded op-sequence fuzz (chaos-style: replayable from a seed, no
+# hypothesis). Covers the batched ops the hypothesis property above
+# does not, and extends the backend set to the tiered and networked
+# stores — the full "single configuration switch" matrix.
+# ---------------------------------------------------------------------------
+
+FUZZ_KEYS = ["k1", "k2", "k3", "ns/k4", "ns/deep/k5", "other/k6"]
+FUZZ_OPS = ("write", "write_many", "read", "read_many", "delete",
+            "delete_many", "move", "keys", "exists")
+
+
+def fuzz_ops(seed, nops=120):
+    """A deterministic op sequence: (op, keys, payloads) tuples."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(nops):
+        op = FUZZ_OPS[int(rng.integers(len(FUZZ_OPS)))]
+        nkeys = int(rng.integers(1, 4))
+        keys = [FUZZ_KEYS[int(rng.integers(len(FUZZ_KEYS)))] for _ in range(nkeys)]
+        payloads = [bytes(rng.integers(0, 256, size=int(rng.integers(0, 48)),
+                                       dtype=np.uint8).tolist())
+                    for _ in range(nkeys)]
+        ops.append((op, keys, payloads))
+    return ops
+
+
+def apply_op(store, model, op, keys, payloads):
+    """Apply one op to a live store and the in-memory model, diffing results."""
+    if op == "write":
+        store.write(keys[0], payloads[0])
+        model[keys[0]] = payloads[0]
+    elif op == "write_many":
+        items = dict(zip(keys, payloads))
+        store.write_many(items)
+        model.update(items)
+    elif op == "read":
+        if keys[0] in model:
+            assert store.read(keys[0]) == model[keys[0]]
+        else:
+            with pytest.raises(KeyNotFound):
+                store.read(keys[0])
+    elif op == "read_many":
+        present = [k for k in keys if k in model]
+        if len(present) == len(keys):
+            got = store.read_many(keys)
+            assert got == {k: model[k] for k in keys}
+        else:
+            assert store.read_present(keys) == {k: model[k] for k in present}
+    elif op == "delete":
+        if keys[0] in model:
+            store.delete(keys[0])
+            del model[keys[0]]
+        else:
+            with pytest.raises(KeyNotFound):
+                store.delete(keys[0])
+    elif op == "delete_many":
+        n = store.delete_many(keys)
+        assert n == len({k for k in keys if k in model})
+        for k in keys:
+            model.pop(k, None)
+    elif op == "move":
+        src, dst = keys[0], FUZZ_KEYS[hash(keys[0]) % len(FUZZ_KEYS)]
+        if src == dst:
+            return
+        if src in model:
+            store.move(src, dst)
+            model[dst] = model.pop(src)
+        else:
+            with pytest.raises(KeyNotFound):
+                store.move(src, dst)
+    elif op == "keys":
+        prefix = ["", "ns/", "other/", "nope/"][len(keys) % 4]
+        assert store.keys(prefix) == sorted(
+            k for k in model if k.startswith(prefix))
+    elif op == "exists":
+        assert store.exists(keys[0]) == (keys[0] in model)
+
+
+def run_fuzz(store, seed):
+    model = {}
+    for step, (op, keys, payloads) in enumerate(fuzz_ops(seed)):
+        try:
+            apply_op(store, model, op, keys, payloads)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"seed {seed} step {step} op {op} keys {keys}: {exc}") from exc
+    assert store.keys() == sorted(model)
+    assert store.read_many(sorted(model)) == model
+
+
+class TestSeededOpSequenceFuzz:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_local_backends_match_model(self, tmp_path, seed):
+        stores = {
+            "fs": FSStore(str(tmp_path / "fs")),
+            "taridx": TaridxStore(str(tmp_path / "tar")),
+            "kv": KVStore(nservers=3),
+        }
+        for name, s in stores.items():
+            try:
+                run_fuzz(s, seed)
+            finally:
+                s.close()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_tiered_store_matches_model(self, tmp_path, seed):
+        from repro.datastore import TieredStore
+
+        s = TieredStore(fast=KVStore(nservers=2),
+                        backing=FSStore(str(tmp_path / "backing")),
+                        persist_prefixes=("ns/",))
+        try:
+            run_fuzz(s, seed)
+        finally:
+            s.close()
+
+    @pytest.mark.multi_server
+    @pytest.mark.parametrize("seed", range(2))
+    def test_netkv_cluster_matches_model(self, seed):
+        from repro.datastore import (NetKVCluster, NetKVServer, NetKVStore,
+                                     TransportConfig)
+
+        servers = [NetKVServer().start() for _ in range(3)]
+        cluster = NetKVCluster(
+            [srv.address for srv in servers],
+            config=TransportConfig(op_timeout=0.5, connect_timeout=0.5,
+                                   retries=1, backoff_base=0.01,
+                                   backoff_max=0.05),
+            replication=2,
+        )
+        store = NetKVStore(cluster)
+        try:
+            run_fuzz(store, seed)
+        finally:
+            store.close()
+            for srv in servers:
+                srv.stop()

@@ -1,0 +1,149 @@
+"""Property-based matcher tests: seeded random graphs + request streams.
+
+No hypothesis in the container, so this is the poor-man's equivalent:
+``numpy`` Generators seeded per case drive both the resource-graph
+shapes and the job streams, and every property is checked over dozens
+of sampled scenarios. Failures print the offending seed so a case can
+be replayed exactly.
+
+Properties:
+
+- *capacity*: across any mix of matches and releases, under either
+  policy, no node ever has more cores/GPUs claimed than it owns, and no
+  resource is double-claimed (the graph raises if a claim conflicts).
+- *conservation*: releasing everything returns the graph to fully free.
+- *cursor*: the first-match round-robin cursor advances only when a
+  request fully places (the PR 4 invariant) and always stays a valid
+  node index.
+- *agreement*: both policies succeed or fail together on a fresh graph
+  (they differ in cost and choice, never in feasibility) for
+  single-node requests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sched.jobspec import JobSpec
+from repro.sched.matcher import Matcher, MatchPolicy
+from repro.sched.resources import ResourceGraph
+
+SEEDS = range(12)
+
+
+def random_graph(rng):
+    # Cores split across 2 sockets, so per-node core counts are even.
+    return ResourceGraph(
+        nnodes=int(rng.integers(2, 20)),
+        cores_per_node=2 * int(rng.integers(1, 17)),
+        gpus_per_node=int(rng.integers(0, 5)),
+    )
+
+
+def random_spec(rng, graph, tight=False):
+    """A request that is sometimes satisfiable, sometimes not."""
+    stretch = 2 if tight else 1
+    ncores = int(rng.integers(1, stretch * graph.cores_per_node + 1))
+    ngpus = int(rng.integers(0, graph.gpus_per_node + 2)) if graph.gpus_per_node else 0
+    return JobSpec(
+        name=f"job-{int(rng.integers(1e6))}",
+        ncores=ncores,
+        ngpus=ngpus,
+        nnodes=int(rng.integers(1, 4)),
+        exclusive=bool(rng.random() < 0.1),
+    )
+
+
+def assert_within_capacity(graph, live_allocs):
+    claimed_cores = {}
+    claimed_gpus = {}
+    for alloc in live_allocs:
+        for node_id, cores, gpus in alloc.items:
+            for c in cores:
+                assert (node_id, c) not in claimed_cores, \
+                    f"core {c} on node {node_id} double-claimed"
+                claimed_cores[(node_id, c)] = True
+            for g in gpus:
+                assert (node_id, g) not in claimed_gpus
+                claimed_gpus[(node_id, g)] = True
+            node = graph.nodes[node_id]
+            in_use_here = sum(1 for (n, _) in claimed_cores if n == node_id)
+            assert in_use_here <= node.ncores
+            gpus_here = sum(1 for (n, _) in claimed_gpus if n == node_id)
+            assert gpus_here <= node.ngpus
+
+
+@pytest.mark.parametrize("policy", list(MatchPolicy))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_no_placement_exceeds_node_capacity(policy, seed):
+    rng = np.random.default_rng(seed)
+    graph = random_graph(rng)
+    matcher = Matcher(graph, policy=policy)
+    live = []
+    for _ in range(60):
+        if live and rng.random() < 0.35:
+            matcher.release(live.pop(int(rng.integers(len(live)))))
+            continue
+        alloc = matcher.match(random_spec(rng, graph, tight=True))
+        if alloc is not None:
+            live.append(alloc)
+        assert_within_capacity(graph, live)
+    for alloc in live:
+        matcher.release(alloc)
+    # Conservation: everything released → graph fully free again.
+    assert sum(len(n.free_core_ids()) for n in graph.nodes) == \
+        len(graph.nodes) * graph.cores_per_node
+    assert sum(len(n.free_gpu_ids()) for n in graph.nodes) == \
+        len(graph.nodes) * graph.gpus_per_node
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_rr_cursor_advances_only_on_full_placement(seed):
+    rng = np.random.default_rng(100 + seed)
+    graph = random_graph(rng)
+    matcher = Matcher(graph, policy=MatchPolicy.FIRST_MATCH)
+    for _ in range(80):
+        before = matcher._rr_cursor
+        alloc = matcher.match(random_spec(rng, graph, tight=True))
+        after = matcher._rr_cursor
+        assert 0 <= after < len(graph.nodes)
+        if alloc is None:
+            # The PR 4 invariant: a failed (or partially feasible) match
+            # must not rotate the cursor past the few feasible nodes.
+            assert after == before, f"cursor moved on failed match (seed {seed})"
+        if alloc is not None and rng.random() < 0.5:
+            matcher.release(alloc)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_policies_agree_on_single_node_feasibility(seed):
+    rng = np.random.default_rng(200 + seed)
+    nnodes = int(rng.integers(2, 12))
+    cores = 2 * int(rng.integers(1, 9))
+    gpus = int(rng.integers(0, 3))
+    for _ in range(40):
+        spec_rng = np.random.default_rng(int(rng.integers(2**31)))
+        graph_a = ResourceGraph(nnodes, cores, gpus)
+        graph_b = ResourceGraph(nnodes, cores, gpus)
+        spec = random_spec(spec_rng, graph_a, tight=True)
+        if spec.nnodes > 1 or spec.exclusive:
+            continue
+        a = Matcher(graph_a, policy=MatchPolicy.LOW_ID_FIRST).match(spec)
+        b = Matcher(graph_b, policy=MatchPolicy.FIRST_MATCH).match(spec)
+        assert (a is None) == (b is None), \
+            f"policies disagree on feasibility (seed {seed}, spec {spec})"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_first_match_visits_no_more_than_exhaustive(seed):
+    rng = np.random.default_rng(300 + seed)
+    graph_a = ResourceGraph(16, 8, 2)
+    graph_b = ResourceGraph(16, 8, 2)
+    low = Matcher(graph_a, policy=MatchPolicy.LOW_ID_FIRST)
+    fast = Matcher(graph_b, policy=MatchPolicy.FIRST_MATCH)
+    for _ in range(50):
+        spec = random_spec(rng, graph_a)
+        spec_b = JobSpec(name=spec.name, ncores=spec.ncores, ngpus=spec.ngpus,
+                         nnodes=spec.nnodes, exclusive=spec.exclusive)
+        low.match(spec)
+        fast.match(spec_b)
+    assert fast.stats.vertices_visited <= low.stats.vertices_visited

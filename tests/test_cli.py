@@ -75,6 +75,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "traversal reduction" in out
 
+    def test_chaos_fuzz_writes_report_and_trace(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        trace = tmp_path / "trace.jsonl"
+        argv = ["chaos", "--seed", "7", "--rounds", "3", "--campaigns", "2",
+                "--report", str(report), "--trace", str(trace)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "campaign(s) green" in out
+        assert report.exists() and trace.exists()
+        # Determinism contract: a second run is byte-identical.
+        first_report, first_trace = report.read_bytes(), trace.read_bytes()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert report.read_bytes() == first_report
+        assert trace.read_bytes() == first_trace
+
+    def test_chaos_replay_round_trip(self, tmp_path, capsys):
+        from repro.chaos import ChaosConfig, FaultSchedule, save_replay
+
+        path = tmp_path / "replay.json"
+        save_replay(str(path),
+                    FaultSchedule().shard_down(30.0, 1).shard_up(90.0, 1),
+                    ChaosConfig(seed=5, rounds=2))
+        assert main(["chaos", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 fault event(s)" in out
+
 
 def test_python_dash_m_entrypoint():
     """The module actually runs as `python -m repro`."""

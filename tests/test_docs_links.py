@@ -51,3 +51,20 @@ def test_observability_is_cross_linked():
     for name in ("README.md", "DESIGN.md"):
         with open(os.path.join(ROOT, name), encoding="utf-8") as fh:
             assert "OBSERVABILITY.md" in fh.read(), f"{name} must link the guide"
+
+
+def test_chaos_guide_is_cross_linked():
+    """The chaos guide is reachable from every entry-point doc."""
+    for name in ("README.md", "DESIGN.md", "OBSERVABILITY.md"):
+        with open(os.path.join(ROOT, name), encoding="utf-8") as fh:
+            assert "CHAOS.md" in fh.read(), f"{name} must link CHAOS.md"
+
+
+def test_chaos_guide_documents_the_knobs():
+    """CHAOS.md must keep the operational knobs discoverable."""
+    with open(os.path.join(ROOT, "CHAOS.md"), encoding="utf-8") as fh:
+        text = fh.read()
+    for needle in ("REPRO_CHAOS_CAMPAIGNS", "--replay", "--save-failing",
+                   "counter_conservation", "selector_equivalence",
+                   "tombstone_resurrection"):
+        assert needle in text, f"CHAOS.md no longer documents {needle}"

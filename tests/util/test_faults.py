@@ -69,3 +69,47 @@ class TestDeterminism:
         inj.reset()
         assert inj.total_injected() == 0
         assert set(inj.injected) == set(FAULT_MODES)
+
+    def test_delay_durations_are_byte_identical_per_seed(self):
+        # Chaos replays require every injected artifact — not just the
+        # fate sequence — to come from the explicit rng stream.
+        def durations(seed):
+            rng = RngStream(seed).child("netkv-faults")
+            inj = NetworkFaultInjector(delay=1.0, delay_seconds=0.25, rng=rng)
+            return [inj.delay_duration() for _ in range(50)]
+
+        first = durations(7)
+        assert first == durations(7)
+        assert first != durations(8)
+        assert all(0.125 <= d <= 0.375 for d in first)
+
+    def test_garbage_payloads_are_byte_identical_per_seed(self):
+        def payloads(seed):
+            rng = RngStream(seed).child("netkv-faults")
+            inj = NetworkFaultInjector(garbage=1.0, rng=rng)
+            return [inj.garbage_payload() for _ in range(50)]
+
+        first = payloads(7)
+        assert first == payloads(7)
+        assert first != payloads(8)
+        # Still recognizably garbage: the fixed junk preamble survives.
+        assert all(p.startswith(NetworkFaultInjector().garbage_bytes)
+                   for p in first)
+        # The random tail varies between draws from one stream.
+        assert len(set(first)) > 1
+
+    def test_interleaved_draw_kinds_stay_deterministic(self):
+        def mixed(seed):
+            rng = RngStream(seed).child("netkv-faults")
+            inj = NetworkFaultInjector(delay=0.3, garbage=0.3,
+                                       delay_seconds=0.1, rng=rng)
+            out = []
+            for i in range(100):
+                out.append(inj.request_fate())
+                if i % 3 == 0:
+                    out.append(inj.delay_duration())
+                if i % 5 == 0:
+                    out.append(inj.garbage_payload())
+            return out
+
+        assert mixed(7) == mixed(7)
