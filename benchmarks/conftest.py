@@ -26,15 +26,23 @@ def pytest_configure(config):
         "multi_server: bench spins up several live NetKV servers at once; "
         "set REPRO_SKIP_MULTI_SERVER=1 to skip on constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "service: bench runs a live control-plane daemon over HTTP; "
+        "set REPRO_SKIP_SERVICE=1 to skip on constrained runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if not os.environ.get("REPRO_SKIP_MULTI_SERVER"):
-        return
-    skip = pytest.mark.skip(reason="REPRO_SKIP_MULTI_SERVER is set")
-    for item in items:
-        if item.get_closest_marker("multi_server"):
-            item.add_marker(skip)
+    gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
+             ("REPRO_SKIP_SERVICE", "service")]
+    for env, marker in gates:
+        if not os.environ.get(env):
+            continue
+        skip = pytest.mark.skip(reason=f"{env} is set")
+        for item in items:
+            if item.get_closest_marker(marker):
+                item.add_marker(skip)
 
 
 def report(name: str, lines: Iterable[str]) -> None:

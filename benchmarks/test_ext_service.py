@@ -1,0 +1,96 @@
+"""Extension bench: control-plane API latency and campaign multiplexing.
+
+Service mode (OPERATIONS.md) fronts the workflow with an HTTP control
+plane; this bench measures what that costs an operator: steady-state
+read latency (``GET /v1/campaigns/{id}``), submission latency
+(``POST /v1/campaigns``, including workflow build and control-thread
+start), and how wall time scales when one daemon multiplexes several
+tenants' campaigns onto its shared fair-share pool. Machine-readable
+numbers land in ``BENCH_service.json`` at the repo root.
+"""
+
+import time
+
+import pytest
+from conftest import record_json, report
+
+from repro.service import ControlPlaneServer, ServiceClient, ServiceConfig
+
+pytestmark = pytest.mark.service
+
+N_STATUS = 200
+N_SUBMITS = 8
+FLEETS = (1, 2, 4, 6)
+ROUNDS = 2
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_service_api_latency_and_scaling():
+    cfg = ServiceConfig(pool_workers=4, max_campaigns_per_tenant=8,
+                        max_campaigns_total=32)
+    lines = []
+    payload = {}
+    with ControlPlaneServer(store_url="kv://2", config=cfg) as server:
+        client = ServiceClient(*server.address)
+
+        # --- status round-trip latency on a settled campaign ------------
+        probe = client.submit("bench", rounds=1)
+        client.wait(probe["id"], timeout=60)
+        samples = []
+        for _ in range(N_STATUS):
+            t0 = time.perf_counter()
+            client.status(probe["id"])
+            samples.append((time.perf_counter() - t0) * 1e3)
+        status_ms = {"p50": _percentile(samples, 0.50),
+                     "p99": _percentile(samples, 0.99)}
+        lines.append(f"GET status round-trip: p50 {status_ms['p50']:.3f} ms, "
+                     f"p99 {status_ms['p99']:.3f} ms over {N_STATUS} calls")
+
+        # --- submit latency (validate + build + start) ------------------
+        submit_samples = []
+        submitted = []
+        for i in range(N_SUBMITS):
+            t0 = time.perf_counter()
+            snap = client.submit("bench", rounds=1, name=f"s{i}")
+            submit_samples.append((time.perf_counter() - t0) * 1e3)
+            submitted.append(snap["id"])
+        for cid in submitted:
+            client.wait(cid, timeout=60)
+        submit_ms = {"p50": _percentile(submit_samples, 0.50),
+                     "max": max(submit_samples)}
+        lines.append(f"POST submit: p50 {submit_ms['p50']:.2f} ms, "
+                     f"max {submit_ms['max']:.2f} ms over {N_SUBMITS} submits")
+
+        # --- multiplexing: N concurrent campaigns, round-robin tenants --
+        scaling = []
+        for fleet in FLEETS:
+            t0 = time.perf_counter()
+            ids = [client.submit(f"tenant{i % 3}", rounds=ROUNDS,
+                                 name=f"fleet{fleet}-{i}")["id"]
+                   for i in range(fleet)]
+            for cid in ids:
+                assert client.wait(cid, timeout=120)["state"] == "done"
+            wall = time.perf_counter() - t0
+            scaling.append({"campaigns": fleet, "wall_s": wall,
+                            "wall_per_campaign_s": wall / fleet})
+            lines.append(f"{fleet} concurrent campaign(s) x {ROUNDS} rounds: "
+                         f"{wall:.2f} s wall "
+                         f"({wall / fleet:.2f} s/campaign)")
+
+    # Multiplexing must beat serial: per-campaign wall time at the
+    # largest fleet stays under the single-campaign wall time.
+    solo = scaling[0]["wall_s"]
+    packed = scaling[-1]["wall_per_campaign_s"]
+    assert packed < solo * 1.5, (
+        f"no multiplexing win: {packed:.2f}s/campaign at fleet "
+        f"{FLEETS[-1]} vs {solo:.2f}s solo")
+
+    payload.update({"status_roundtrip_ms": status_ms,
+                    "submit_ms": submit_ms,
+                    "scaling": scaling})
+    report("ext_service", lines)
+    record_json("BENCH_service.json", "service_api", payload)

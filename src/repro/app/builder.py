@@ -54,6 +54,7 @@ def build_application(
     workflow: Optional[WorkflowConfig] = None,
     adapter: Optional[SchedulerAdapter] = None,
     seed: int = 0,
+    store: Optional[DataStore] = None,
 ) -> Application:
     """Build the laptop-scale three-scale application.
 
@@ -61,6 +62,11 @@ def build_application(
     backend (one URL — §4.2's configuration switch), continuum size,
     lipid complexity, and whether to metric-train the patch encoder on
     an initial batch of patches before the campaign starts.
+
+    ``store`` accepts an already-open :class:`DataStore` instead of a
+    URL — the control plane passes each campaign a per-tenant
+    :class:`~repro.datastore.namespaced.NamespacedStore` view over one
+    shared backend this way. When given, ``store_url`` is ignored.
     """
     rng = np.random.default_rng(seed)
     macro = ContinuumSim(
@@ -73,7 +79,7 @@ def build_application(
             seed=seed,
         )
     )
-    store = open_store(store_url)
+    store = store if store is not None else open_store(store_url)
     encoder = PatchEncoder(
         input_dim=n_lipid_types * patch_grid**2,
         latent_dim=9,

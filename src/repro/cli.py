@@ -15,6 +15,10 @@ emulate
 trace
     Replay an exported span trace (JSONL) into a per-stage latency
     breakdown, span events, and the critical path.
+serve
+    Run the campaign control plane: a long-running HTTP daemon that
+    multiplexes submitted campaigns from many tenants onto one shared
+    worker pool and one shared store (see OPERATIONS.md).
 netkv
     Serve networked KV shards, or probe a ``netkv://`` cluster and
     print per-replica health.
@@ -76,6 +80,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "with this name prefix (e.g. wm.cg_sim)")
     p_trace.add_argument("--bins", type=int, default=20,
                          help="number of time bins for --occupancy")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the campaign control-plane daemon (OPERATIONS.md)")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="bind port (0 picks a free port)")
+    p_serve.add_argument("--store", default="kv://2",
+                         help="shared store URL (kv://, netkv://, fs://, taridx://)")
+    p_serve.add_argument("--pool-workers", type=int, default=4,
+                         help="worker slots in the shared fair-share job pool")
+    p_serve.add_argument("--max-campaigns-per-tenant", type=int, default=4)
+    p_serve.add_argument("--max-campaigns", type=int, default=16,
+                         help="active-campaign cap across all tenants")
+    p_serve.add_argument("--default-rounds", type=int, default=4,
+                         help="rounds when a submission omits 'rounds'")
+    p_serve.add_argument("--share", action="append", default=[],
+                         metavar="TENANT=WEIGHT",
+                         help="fair-share weight for a tenant (repeatable)")
+    p_serve.add_argument("--trace-capacity", type=int, default=65536,
+                         help="daemon trace ring-buffer size (0 disables tracing)")
 
     p_netkv = sub.add_parser("netkv", help="networked KV cluster utilities")
     group = p_netkv.add_mutually_exclusive_group(required=True)
@@ -218,6 +242,49 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.service import ControlPlaneServer, ServiceConfig
+
+    shares = {}
+    for spec in args.share:
+        tenant, sep, weight = spec.partition("=")
+        if not sep:
+            print(f"--share needs TENANT=WEIGHT, got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            shares[tenant] = float(weight)
+        except ValueError:
+            print(f"--share weight must be a number, got {weight!r}",
+                  file=sys.stderr)
+            return 2
+    config = ServiceConfig(
+        max_campaigns_per_tenant=args.max_campaigns_per_tenant,
+        max_campaigns_total=args.max_campaigns,
+        default_rounds=args.default_rounds,
+        pool_workers=args.pool_workers,
+        shares=shares,
+    )
+    server = ControlPlaneServer(store_url=args.store, host=args.host,
+                                port=args.port, config=config,
+                                trace_capacity=args.trace_capacity)
+    server.start()
+    print(f"control plane listening on {server.url}")
+    print(f"store {args.store}, pool {config.pool_workers} worker(s), "
+          f"quota {config.max_campaigns_per_tenant}/tenant "
+          f"({config.max_campaigns_total} total)")
+    print("press Ctrl-C to drain and stop")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("control plane stopped")
+    return 0
+
+
 def _cmd_netkv(args) -> int:
     if args.serve is not None:
         import threading
@@ -237,8 +304,11 @@ def _cmd_netkv(args) -> int:
         except KeyboardInterrupt:
             pass
         finally:
+            # stop() joins handler threads, so acked writes are flushed
+            # before the process exits (see OPERATIONS.md).
             for s in servers:
                 s.stop()
+            print(f"stopped {len(servers)} shard(s)")
         return 0
 
     from repro.datastore.base import StoreError, open_store
@@ -348,6 +418,7 @@ def _cmd_info(args) -> int:
         ("sims", "continuum DDFT / CG Martini-like / AA engines + mappings"),
         ("core", "Workflow Manager, feedback, campaign + persistent campaigns"),
         ("chaos", "seeded fault schedules, invariant suite, campaign fuzzer"),
+        ("service", "multi-tenant control plane: HTTP API, fair shares"),
         ("app", "RAS-RAF application wiring"),
     ]
     for name, desc in inventory:
@@ -361,6 +432,7 @@ _COMMANDS = {
     "persistent": _cmd_persistent,
     "emulate": _cmd_emulate,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
     "netkv": _cmd_netkv,
     "chaos": _cmd_chaos,
     "info": _cmd_info,

@@ -437,6 +437,22 @@ class CampaignSimulator:
             for _ in range(spec.count)
         ]
 
+    def progress(self) -> Dict[str, float]:
+        """Where the campaign stands in its ledger (control-plane status).
+
+        ``max_runs``-sliced execution pauses between allocation runs, so
+        this is exact at every pause point — the service's ``simulate``
+        campaigns report it after each slice.
+        """
+        total = len(self._flat_runs())
+        return {
+            "runs_completed": self.runs_completed,
+            "runs_total": total,
+            "node_hours_done": self._node_hours_done,
+            "node_hours_total": self._total_node_hours,
+            "fraction": self.runs_completed / total if total else 1.0,
+        }
+
     def run(self, max_runs: Optional[int] = None) -> CampaignResult:
         """Execute (the rest of) the campaign.
 

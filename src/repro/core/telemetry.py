@@ -9,6 +9,7 @@ iteration timing — into one structured report.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
@@ -66,6 +67,24 @@ class TelemetryReport:
     transport: Dict[str, Any] = field(default_factory=dict)
     replicas: Dict[str, Any] = field(default_factory=dict)
     trace: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The report as a JSON-serializable dict (the HTTP API payload).
+
+        NumPy scalars inside selector/engine stats are coerced to native
+        Python numbers so ``json.dumps`` works on any backend's report.
+        """
+        def coerce(value: Any) -> Any:
+            if isinstance(value, dict):
+                return {k: coerce(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [coerce(v) for v in value]
+            if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+                return value.item()
+            return value
+
+        return {f.name: coerce(getattr(self, f.name))
+                for f in dataclasses.fields(self)}
 
     def data_written(self) -> int:
         """Total bytes written to the store (0 if the backend reports none)."""

@@ -118,6 +118,10 @@ class WorkflowManager:
         self.encoder = encoder
         self.forcefield = forcefield
         self.store = store
+        # A WM owns only the adapter it created itself. Shared adapters
+        # (the control plane's fair-share pool) belong to their daemon:
+        # close() must not shut them down under other tenants.
+        self._owns_adapter = adapter is None
         self.adapter = adapter if adapter is not None else ThreadAdapter(max_workers=2)
         self.patch_creator = patch_creator or PatchCreator(patch_grid=9, store=store)
         self.feedback_managers = list(feedback_managers)
@@ -455,6 +459,46 @@ class WorkflowManager:
         for _ in range(nrounds):
             self.round(advance_us, wait=wait)
         return self.counters_snapshot()
+
+    def status(self) -> Dict[str, object]:
+        """One addressable snapshot of this workflow's coordination state.
+
+        The control plane's :class:`~repro.service.registry.CampaignHandle`
+        serves this over HTTP; it is also handy interactively. Everything
+        here is owned by *this* instance — no module or process globals —
+        which is what lets one daemon host many WMs side by side.
+        """
+        with self._buffer_lock:
+            ready = {"cg": len(self.cg_ready), "aa": len(self.aa_ready)}
+        with self._selector_guard.locked():
+            selectors = {
+                "patch_candidates": self.patch_selector.ncandidates(),
+                "frame_candidates": self.frame_selector.ncandidates(),
+            }
+        return {
+            "rounds": self.rounds,
+            "counters": self.counters_snapshot(),
+            "ready_buffers": ready,
+            "selectors": selectors,
+            "active_jobs": {name: t.nactive() for name, t in self.trackers.items()},
+            "macro_time_us": self.macro.time_us,
+            "coupling_version": self.macro.coupling_version,
+            "ff_version": self.forcefield.version,
+        }
+
+    def close(self) -> None:
+        """Drain in-flight jobs and release the adapter if this WM owns it.
+
+        Campaigns used to die with their process, leaking pool threads on
+        abnormal exits; a service-hosted WM must instead shut down cleanly
+        while its shared substrate (adapter pool, store) keeps serving
+        other tenants.
+        """
+        self._quiesce()
+        if self._owns_adapter:
+            shutdown = getattr(self.adapter, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
 
     # ------------------------------------------------------------------
     # Checkpoint / restore (§4.4 resilience)

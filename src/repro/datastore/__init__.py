@@ -27,6 +27,7 @@ from repro.datastore.netkv import (
     NetKVServer, NetKVClient, NetKVCluster, NetKVStore, TransportConfig,
     WireProtocolError,
 )
+from repro.datastore.namespaced import NamespacedStore
 from repro.datastore.tiered import TieredStore
 from repro.datastore.stats import IOStats, TransportStats
 from repro.datastore import serial
@@ -53,6 +54,7 @@ __all__ = [
     "TransportConfig",
     "TransportStats",
     "WireProtocolError",
+    "NamespacedStore",
     "TieredStore",
     "IOStats",
     "serial",

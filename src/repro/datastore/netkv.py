@@ -478,6 +478,21 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
+    def process_request(self, request, client_address):
+        # ThreadingMixIn only tracks (and joins) non-daemon handler
+        # threads, so with daemon_threads the stock server_close() joins
+        # nothing: `repro netkv --serve` could exit mid-request, dropping
+        # an acked write on the floor. Spawn the handler ourselves and
+        # register the thread with the owning NetKVServer so stop() can
+        # join it after severing its socket.
+        thread = threading.Thread(
+            target=self.process_request_thread,
+            args=(request, client_address), daemon=True)
+        owner = getattr(self, "owner", None)
+        if owner is not None:
+            owner._track_handler(thread)
+        thread.start()
+
 
 class NetKVServer:
     """One networked shard wrapping an in-memory :class:`KVServer`.
@@ -499,6 +514,12 @@ class NetKVServer:
         self._thread: Optional[threading.Thread] = None
         self._conns: set = set()
         self._conn_lock = threading.Lock()
+        self._handlers: set = set()
+
+    def _track_handler(self, thread: threading.Thread) -> None:
+        with self._conn_lock:
+            self._handlers = {t for t in self._handlers if t.is_alive()}
+            self._handlers.add(thread)
 
     def _register(self, sock: socket.socket) -> None:
         with self._conn_lock:
@@ -517,18 +538,26 @@ class NetKVServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop listening AND sever live connections.
+    def stop(self, join_timeout: float = 5.0) -> None:
+        """Stop listening, sever live connections, and join the threads.
 
-        Without the second step, handler threads on established
+        Without the severing step, handler threads on established
         connections would keep serving a "stopped" shard — a zombie the
-        restart/resilience semantics (and tests) cannot tolerate.
+        restart/resilience semantics (and tests) cannot tolerate. And
+        without the join, ``stop()`` could return while a handler was
+        still inside ``_dispatch`` holding the backend lock — the
+        ``repro netkv --serve`` Ctrl-C path used to exit the process
+        mid-request that way. Handler sockets are closed first, so the
+        joins observe prompt exits; ``join_timeout`` bounds the wait per
+        thread regardless.
         """
         self._tcp.shutdown()
         self._tcp.server_close()
         with self._conn_lock:
             conns = list(self._conns)
             self._conns.clear()
+            handlers = list(self._handlers)
+            self._handlers.clear()
         for sock in conns:
             try:
                 sock.shutdown(socket.SHUT_RDWR)
@@ -538,6 +567,13 @@ class NetKVServer:
                 sock.close()
             except OSError:
                 pass
+        for thread in handlers:
+            if thread is not threading.current_thread():
+                thread.join(timeout=join_timeout)
+        serve_thread = self._thread
+        if serve_thread is not None and serve_thread is not threading.current_thread():
+            serve_thread.join(timeout=join_timeout)
+            self._thread = None
 
     def __enter__(self) -> "NetKVServer":
         return self.start()

@@ -19,6 +19,8 @@ rebuilds that stack:
   event loop together, with node-failure drain support.
 - :mod:`~repro.sched.adapter` — the Maestro-like scheduler-agnostic
   submission API.
+- :mod:`~repro.sched.shares` — weighted fair sharing (stride
+  scheduling) of one worker pool across the control plane's tenants.
 - :mod:`~repro.sched.bundling` — the predecessor's bundled-job strategy,
   kept as the ablation baseline.
 - :mod:`~repro.sched.emulator` — the harness reproducing the matcher
@@ -31,6 +33,7 @@ from repro.sched.matcher import Matcher, MatchPolicy, MatchStats
 from repro.sched.queue import QueueManager, QueueMode
 from repro.sched.flux import FluxInstance
 from repro.sched.adapter import SchedulerAdapter, FluxAdapter, ThreadAdapter
+from repro.sched.shares import FairShareAdapter, StrideScheduler, TenantAdapter
 from repro.sched.bundling import bundle_gpu_jobs, BundleExpander
 
 __all__ = [
@@ -51,6 +54,9 @@ __all__ = [
     "SchedulerAdapter",
     "FluxAdapter",
     "ThreadAdapter",
+    "FairShareAdapter",
+    "StrideScheduler",
+    "TenantAdapter",
     "bundle_gpu_jobs",
     "BundleExpander",
 ]

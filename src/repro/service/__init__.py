@@ -1,0 +1,58 @@
+"""The campaign control plane: ``repro serve`` (paper → platform).
+
+The paper's campaigns lived and died inside one WM process; the top
+coordination lesson is that campaign state must *outlive* any single
+process. This package is that step — a long-running daemon that
+multiplexes many user-submitted campaigns onto shared infrastructure
+(one worker pool under weighted fair sharing, one store cluster under
+per-tenant key namespacing), in the shape REANA gives reusable-analysis
+platforms: submit over HTTP, inspect and steer (pause/resume/cancel)
+through a lifecycle FSM, stream telemetry and trace tails, drain and
+restart safely.
+
+Modules
+-------
+registry
+    :class:`CampaignHandle` (the addressable owner of one campaign's
+    state and lifecycle FSM) and :class:`CampaignRegistry` (tenancy,
+    quotas, shared substrate).
+api
+    The versioned HTTP route table and JSON handlers — introspectable,
+    so OPERATIONS.md is held in sync by a doc test.
+server
+    The stdlib ``ThreadingHTTPServer`` front end (``repro serve``).
+client
+    A stdlib JSON client mirroring the API one method per route.
+
+See OPERATIONS.md for the operator's handbook.
+"""
+
+from repro.service.api import ROUTES, Route
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.registry import (
+    CampaignHandle,
+    CampaignRegistry,
+    CampaignState,
+    IllegalTransition,
+    QuotaExceeded,
+    RegistryError,
+    ServiceConfig,
+    UnknownCampaign,
+)
+from repro.service.server import ControlPlaneServer
+
+__all__ = [
+    "ROUTES",
+    "Route",
+    "ServiceClient",
+    "ServiceError",
+    "CampaignHandle",
+    "CampaignRegistry",
+    "CampaignState",
+    "IllegalTransition",
+    "QuotaExceeded",
+    "RegistryError",
+    "ServiceConfig",
+    "UnknownCampaign",
+    "ControlPlaneServer",
+]

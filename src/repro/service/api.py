@@ -1,0 +1,214 @@
+"""The control plane's HTTP API: one introspectable route table.
+
+Routes are declared as data (:data:`ROUTES`) and dispatched by pattern,
+which buys two things:
+
+- the server needs no web framework — a stdlib handler walks the table;
+- the API reference cannot rot — ``tests/service/test_api_doc.py``
+  asserts every route here is documented in OPERATIONS.md, the same
+  doc-sync contract ``test_observability_doc.py`` applies to telemetry.
+
+Handlers take ``(registry, params, query, body)`` and return
+``(status, payload)``; payloads are JSON-serializable dicts. Errors are
+raised as :class:`~repro.service.registry.RegistryError` subclasses,
+whose ``http_status`` the server maps onto the response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import trace
+from repro._version import __version__
+from repro.service.registry import CampaignRegistry, RegistryError
+
+__all__ = ["Route", "ROUTES", "dispatch", "allowed_methods"]
+
+Handler = Callable[[CampaignRegistry, Dict[str, str], Dict[str, str],
+                    Optional[Dict[str, Any]]], Tuple[int, Any]]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One API endpoint: ``method pattern`` plus its handler."""
+
+    method: str
+    pattern: str  # e.g. "/v1/campaigns/{id}/pause"
+    handler: Handler
+    description: str
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        return tuple(self.pattern.strip("/").split("/"))
+
+    def match(self, path: str) -> Optional[Dict[str, str]]:
+        """Path parameters if ``path`` matches this pattern, else None."""
+        parts = tuple(path.strip("/").split("/"))
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for want, got in zip(self.segments, parts):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+# ---------------------------------------------------------------------------
+# handlers
+# ---------------------------------------------------------------------------
+
+def _health(reg, params, query, body):
+    return 200, reg.health()
+
+
+def _ready(reg, params, query, body):
+    if reg.ready():
+        return 200, {"ready": True}
+    return 503, {"ready": False, "reason": "draining"}
+
+
+def _info(reg, params, query, body):
+    return 200, {
+        "service": "repro-control-plane",
+        "version": __version__,
+        "limits": {
+            "max_campaigns_per_tenant": reg.config.max_campaigns_per_tenant,
+            "max_campaigns_total": reg.config.max_campaigns_total,
+            "max_rounds": reg.config.max_rounds,
+            "pool_workers": reg.config.pool_workers,
+        },
+        "store": type(reg.store).__name__,
+    }
+
+
+def _list_campaigns(reg, params, query, body):
+    return 200, {"campaigns": reg.list(tenant=query.get("tenant"))}
+
+
+def _submit(reg, params, query, body):
+    if body is None:
+        raise RegistryError("POST /v1/campaigns requires a JSON body")
+    handle = reg.submit(body)
+    return 201, {"campaign": handle.snapshot()}
+
+
+def _get_campaign(reg, params, query, body):
+    return 200, {"campaign": reg.get(params["id"]).snapshot()}
+
+
+def _lifecycle(action: str) -> Handler:
+    def handler(reg, params, query, body):
+        handle = reg.get(params["id"])
+        handle.request(action)
+        return 200, {"campaign": handle.snapshot()}
+
+    return handler
+
+
+def _delete_campaign(reg, params, query, body):
+    return 200, {"deleted": reg.delete(params["id"])}
+
+
+def _telemetry(reg, params, query, body):
+    return 200, {"telemetry": reg.get(params["id"]).telemetry()}
+
+
+def _campaign_trace(reg, params, query, body):
+    limit = _int_query(query, "limit", default=100, lo=1, hi=10_000)
+    return 200, {"spans": reg.get(params["id"]).trace_tail(limit=limit)}
+
+
+def _daemon_trace(reg, params, query, body):
+    limit = _int_query(query, "limit", default=100, lo=1, hi=10_000)
+    tracer = trace.get_tracer()
+    rows = tracer.rows()[-limit:] if tracer is not None else []
+    return 200, {"spans": rows, "tracing": tracer is not None}
+
+
+def _tenants(reg, params, query, body):
+    return 200, {"tenants": reg.tenants()}
+
+
+def _drain(reg, params, query, body):
+    return 202, reg.drain()
+
+
+def _int_query(query: Dict[str, str], name: str, default: int,
+               lo: int, hi: int) -> int:
+    raw = query.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise RegistryError(f"query parameter {name!r} must be an integer")
+    if not lo <= value <= hi:
+        raise RegistryError(f"query parameter {name!r} out of [{lo}, {hi}]")
+    return value
+
+
+#: The whole API surface, in documentation order.
+ROUTES: List[Route] = [
+    Route("GET", "/v1/health", _health,
+          "Daemon liveness, campaign counts, store and pool health"),
+    Route("GET", "/v1/ready", _ready,
+          "Readiness: 200 while accepting submissions, 503 when draining"),
+    Route("GET", "/v1/info", _info,
+          "Service version, configured limits, store backend"),
+    Route("GET", "/v1/campaigns", _list_campaigns,
+          "List campaigns (filter with ?tenant=)"),
+    Route("POST", "/v1/campaigns", _submit,
+          "Submit a campaign; 201 with the new campaign resource"),
+    Route("GET", "/v1/campaigns/{id}", _get_campaign,
+          "One campaign's state, counters, and namespace"),
+    Route("POST", "/v1/campaigns/{id}/pause", _lifecycle("pause"),
+          "RUNNING -> PAUSED at the next round boundary"),
+    Route("POST", "/v1/campaigns/{id}/resume", _lifecycle("resume"),
+          "PAUSED -> RUNNING"),
+    Route("POST", "/v1/campaigns/{id}/cancel", _lifecycle("cancel"),
+          "Any non-terminal state -> CANCELLED"),
+    Route("DELETE", "/v1/campaigns/{id}", _delete_campaign,
+          "Forget a terminal campaign and purge its keyspace"),
+    Route("GET", "/v1/campaigns/{id}/telemetry", _telemetry,
+          "Full telemetry report snapshot for one campaign"),
+    Route("GET", "/v1/campaigns/{id}/trace", _campaign_trace,
+          "Trace tail scoped to one campaign (?limit=N)"),
+    Route("GET", "/v1/trace", _daemon_trace,
+          "Daemon-wide trace tail (?limit=N)"),
+    Route("GET", "/v1/tenants", _tenants,
+          "Per-tenant usage, quotas, and fair-share accounting"),
+    Route("POST", "/v1/drain", _drain,
+          "Stop accepting submissions; running campaigns finish"),
+]
+
+
+def allowed_methods(path: str) -> List[str]:
+    """Methods with a route at this path (for 405 Allow headers)."""
+    return sorted({r.method for r in ROUTES if r.match(path) is not None})
+
+
+def dispatch(registry: CampaignRegistry, method: str, path: str,
+             query: Dict[str, str],
+             body: Optional[Dict[str, Any]]) -> Tuple[int, Any]:
+    """Route one request; returns ``(status, JSON payload)``.
+
+    Unknown path → 404; known path, wrong verb → 405; handler-raised
+    :class:`RegistryError` subclasses → their ``http_status``.
+    """
+    for route in ROUTES:
+        if route.method != method:
+            continue
+        params = route.match(path)
+        if params is None:
+            continue
+        try:
+            return route.handler(registry, params, query, body)
+        except RegistryError as exc:
+            return exc.http_status, {"error": str(exc)}
+    allowed = allowed_methods(path)
+    if allowed:
+        return 405, {"error": f"method {method} not allowed", "allow": allowed}
+    return 404, {"error": f"no route for {method} {path}"}

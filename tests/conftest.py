@@ -43,15 +43,23 @@ def pytest_configure(config):
         "chaos: randomized chaos campaign; campaign count scales with "
         "REPRO_CHAOS_CAMPAIGNS (default 5; see CHAOS.md for nightly settings)",
     )
+    config.addinivalue_line(
+        "markers",
+        "service: test runs a live control-plane daemon and drives it over "
+        "HTTP; set REPRO_SKIP_SERVICE=1 to skip on constrained runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if not os.environ.get("REPRO_SKIP_MULTI_SERVER"):
-        return
-    skip = pytest.mark.skip(reason="REPRO_SKIP_MULTI_SERVER is set")
-    for item in items:
-        if item.get_closest_marker("multi_server"):
-            item.add_marker(skip)
+    gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
+             ("REPRO_SKIP_SERVICE", "service")]
+    for env, marker in gates:
+        if not os.environ.get(env):
+            continue
+        skip = pytest.mark.skip(reason=f"{env} is set")
+        for item in items:
+            if item.get_closest_marker(marker):
+                item.add_marker(skip)
 
 
 @pytest.hookimpl(wrapper=True)

@@ -210,3 +210,23 @@ class TestShutdown:
                 refused = True
                 break
         assert refused
+
+    def test_stop_joins_handler_threads(self):
+        """Regression: ``stop()`` must join connection-handler threads.
+
+        Handler threads are daemons, and ``socketserver`` only tracks
+        non-daemon threads for ``server_close()`` to join — so the old
+        shutdown path left handlers running and could drop an acked
+        write on Ctrl-C (`repro netkv --serve`). ``stop()`` now tracks
+        and joins them itself.
+        """
+        srv = NetKVServer().start()
+        client = NetKVClient(srv.address)
+        client.set("k", b"v")  # opens a persistent handler connection
+        with srv._conn_lock:
+            handlers = list(srv._handlers)
+        assert handlers, "handler thread was not tracked"
+        srv.stop()
+        assert all(not t.is_alive() for t in handlers)
+        assert srv._thread is None  # serve_forever thread joined too
+        client.close()

@@ -1,0 +1,54 @@
+"""Keeps OPERATIONS.md and the service API in sync.
+
+Same contract ``test_observability_doc.py`` applies to telemetry: the
+route table in :mod:`repro.service.api` is the single source of truth,
+and this test fails whenever a route is added, renamed, or dropped
+without the operator handbook following — in either direction.
+"""
+
+import os
+import re
+
+from repro.service.api import ROUTES
+
+DOC = os.path.join(os.path.dirname(__file__), "..", "..", "OPERATIONS.md")
+
+with open(DOC, encoding="utf-8") as fh:
+    HANDBOOK = fh.read()
+
+# `VERB /v1/...` in backticks, the way the handbook cites endpoints.
+_DOC_ROUTES = set(re.findall(r"`(GET|POST|DELETE|PUT|PATCH) (/v1/[^`\s]*)`",
+                             HANDBOOK))
+
+
+class TestHandbookCoversApi:
+    def test_every_route_is_documented(self):
+        missing = [f"{r.method} {r.pattern}" for r in ROUTES
+                   if (r.method, r.pattern) not in _DOC_ROUTES]
+        assert not missing, (
+            f"OPERATIONS.md is missing route(s): {missing} — document each "
+            "as `METHOD /v1/path` in the API reference")
+
+    def test_no_phantom_routes_in_handbook(self):
+        real = {(r.method, r.pattern) for r in ROUTES}
+        phantom = [f"{m} {p}" for m, p in _DOC_ROUTES if (m, p) not in real]
+        assert not phantom, (
+            f"OPERATIONS.md documents route(s) that do not exist: {phantom}")
+
+    def test_every_route_description_is_present(self):
+        # The one-line route descriptions double as the reference's
+        # summary column; they must not drift from the code either.
+        for route in ROUTES:
+            assert route.description, f"{route.pattern} has no description"
+
+    def test_error_statuses_are_documented(self):
+        for status in ("400", "404", "405", "409", "429", "503"):
+            assert status in HANDBOOK, (
+                f"OPERATIONS.md no longer explains HTTP {status}")
+
+    def test_operational_knobs_are_documented(self):
+        for needle in ("repro serve", "--pool-workers", "--share",
+                       "--max-campaigns", "REPRO_SKIP_SERVICE",
+                       "tenants/", "drain"):
+            assert needle in HANDBOOK, (
+                f"OPERATIONS.md no longer documents {needle!r}")

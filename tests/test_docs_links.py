@@ -60,6 +60,23 @@ def test_chaos_guide_is_cross_linked():
             assert "CHAOS.md" in fh.read(), f"{name} must link CHAOS.md"
 
 
+def test_operations_handbook_is_cross_linked():
+    """The operator handbook is reachable from every entry-point doc."""
+    for name in ("README.md", "DESIGN.md", "OBSERVABILITY.md"):
+        with open(os.path.join(ROOT, name), encoding="utf-8") as fh:
+            assert "OPERATIONS.md" in fh.read(), f"{name} must link OPERATIONS.md"
+
+
+def test_operations_handbook_documents_the_knobs():
+    """OPERATIONS.md must keep the service knobs and runbook discoverable."""
+    with open(os.path.join(ROOT, "OPERATIONS.md"), encoding="utf-8") as fh:
+        text = fh.read()
+    for needle in ("repro serve", "--share", "--max-campaigns-per-tenant",
+                   "netkv --serve", "netkv --health", "/v1/drain",
+                   "REPRO_SKIP_SERVICE"):
+        assert needle in text, f"OPERATIONS.md no longer documents {needle}"
+
+
 def test_chaos_guide_documents_the_knobs():
     """CHAOS.md must keep the operational knobs discoverable."""
     with open(os.path.join(ROOT, "CHAOS.md"), encoding="utf-8") as fh:

@@ -1,0 +1,34 @@
+"""Executes every Python code block in EXPERIMENTS.md.
+
+Same promise as ``test_extending_doc.py`` makes for the extension
+guide: any walkthrough EXPERIMENTS.md presents as runnable is run
+verbatim here, so the experiment record cannot drift from the code.
+"""
+
+import os
+import re
+
+import pytest
+
+DOC = os.path.join(os.path.dirname(__file__), "..", "EXPERIMENTS.md")
+
+
+def code_blocks():
+    with open(DOC, encoding="utf-8") as fh:
+        text = fh.read()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+BLOCKS = code_blocks()
+
+
+def test_doc_has_expected_number_of_examples():
+    assert len(BLOCKS) == 1  # the service-submission walkthrough
+
+
+@pytest.mark.service
+@pytest.mark.parametrize("index", range(len(BLOCKS)))
+def test_code_block_runs(index):
+    namespace = {"__name__": f"experiments_block_{index}"}
+    exec(compile(BLOCKS[index], f"EXPERIMENTS.md[block {index}]", "exec"),
+         namespace)

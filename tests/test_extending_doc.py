@@ -22,7 +22,7 @@ BLOCKS = code_blocks()
 
 
 def test_guide_has_expected_number_of_examples():
-    assert len(BLOCKS) == 6
+    assert len(BLOCKS) == 7
 
 
 @pytest.mark.parametrize("index", range(len(BLOCKS)))
