@@ -31,11 +31,18 @@ def pytest_configure(config):
         "service: bench runs a live control-plane daemon over HTTP; "
         "set REPRO_SKIP_SERVICE=1 to skip on constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "async_transport: bench targets the asyncio NetKV transport "
+        "(connection sweeps, coalescing throughput); set "
+        "REPRO_SKIP_ASYNC=1 to skip on constrained runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
-             ("REPRO_SKIP_SERVICE", "service")]
+             ("REPRO_SKIP_SERVICE", "service"),
+             ("REPRO_SKIP_ASYNC", "async_transport")]
     for env, marker in gates:
         if not os.environ.get(env):
             continue

@@ -110,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "per-replica health (exit 1 if any shard is down)")
     p_netkv.add_argument("--host", default="127.0.0.1",
                          help="bind address for --serve")
+    p_netkv.add_argument("--max-conns", type=int, default=None,
+                         help="per-shard concurrent-connection cap for "
+                              "--serve (default: unlimited; see "
+                              "OPERATIONS.md on fd budgeting)")
 
     p_chaos = sub.add_parser("chaos", help="seeded chaos campaigns with invariant checks")
     p_chaos.add_argument("--seed", type=int, default=0)
@@ -294,18 +298,28 @@ def _cmd_netkv(args) -> int:
         if args.serve < 1:
             print("--serve needs at least one shard", file=sys.stderr)
             return 2
-        servers = [NetKVServer(host=args.host).start() for _ in range(args.serve)]
+        if args.max_conns is not None and args.max_conns < 1:
+            print("--max-conns must be >= 1", file=sys.stderr)
+            return 2
+        servers = []
+        for _ in range(args.serve):
+            server = NetKVServer(host=args.host)
+            server.max_connections = args.max_conns
+            servers.append(server.start())
         url = "netkv://" + ",".join(f"{h}:{p}" for h, p in
                                     (s.address for s in servers))
-        print(f"serving {args.serve} shard(s): {url}")
+        cap = "unlimited" if args.max_conns is None else str(args.max_conns)
+        print(f"serving {args.serve} shard(s): {url} "
+              f"(max {cap} connections/shard)")
         print("press Ctrl-C to stop")
         try:
             threading.Event().wait()
         except KeyboardInterrupt:
             pass
         finally:
-            # stop() joins handler threads, so acked writes are flushed
-            # before the process exits (see OPERATIONS.md).
+            # stop() awaits in-flight serve tasks and joins the loop
+            # thread, so acked writes are fully applied before the
+            # process exits (see OPERATIONS.md).
             for s in servers:
                 s.stop()
             print(f"stopped {len(servers)} shard(s)")

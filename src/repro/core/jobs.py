@@ -83,6 +83,7 @@ class JobTracker:
         self.abandoned: List[str] = []  # tags that exhausted retries
         self._retries: Dict[str, int] = {}
         self._tag_hooks: Dict[str, List[Callable[[JobRecord], None]]] = {}
+        self._settle_hooks: Dict[str, Callable[[JobRecord], None]] = {}
 
     # --- submission ------------------------------------------------------
 
@@ -91,8 +92,19 @@ class JobTracker:
         tag: str,
         fn: Optional[Callable[[], Any]] = None,
         duration: Optional[float] = None,
+        on_settled: Optional[Callable[[JobRecord], None]] = None,
     ) -> JobRecord:
-        """Submit one job for simulation ``tag``."""
+        """Submit one job for simulation ``tag``.
+
+        ``on_settled`` fires exactly once when the tag reaches a
+        *terminal* outcome — completed, abandoned after exhausting
+        retries, or cancelled — never on a failure that will be
+        resubmitted. It is keyed by tag so retries carry it: the
+        coroutine WM's round barrier awaits these settle events where
+        the threaded WM joined the pool.
+        """
+        if on_settled is not None:
+            self._settle_hooks[tag] = on_settled
         spec = self.config.make_spec(tag, self.rng, duration=duration)
         record = self.adapter.submit(spec, fn=fn, on_complete=self._job_done)
         self.active[record.job_id] = record
@@ -113,24 +125,32 @@ class JobTracker:
 
     def _job_done(self, record: JobRecord) -> None:
         self.active.pop(record.job_id, None)
+        tag = record.spec.tag or ""
         if record.state is JobState.COMPLETED:
             self.completed.append(record)
-            self._retries.pop(record.spec.tag or "", None)
+            self._retries.pop(tag, None)
             if self.on_success is not None:
                 self.on_success(record)
-            for hook in self._tag_hooks.pop(record.spec.tag or "", []):
+            for hook in self._tag_hooks.pop(tag, []):
                 hook(record)
+            self._settle(tag, record)
             return
         # FAILED (or CANCELLED by a node failure): retry with same tag.
-        tag = record.spec.tag or ""
         tries = self._retries.get(tag, 0)
         if record.state is JobState.FAILED and tries < self.config.max_retries:
             self._retries[tag] = tries + 1
             self.launch(tag, duration=record.spec.duration)
-        elif record.state is JobState.FAILED:
+            return  # not settled: the resubmission carries the tag on
+        if record.state is JobState.FAILED:
             self.abandoned.append(tag)
             if self.on_abandon is not None:
                 self.on_abandon(tag)
+        self._settle(tag, record)
+
+    def _settle(self, tag: str, record: JobRecord) -> None:
+        hook = self._settle_hooks.pop(tag, None)
+        if hook is not None:
+            hook(record)
 
     # --- scanning -------------------------------------------------------------
 

@@ -75,6 +75,18 @@ from repro.datastore.base import (
     StoreUnavailable,
     validate_key,
 )
+from repro.datastore.aio import (
+    AsyncClientChannel,
+    AsyncNetKVServer,
+    LoopThread,
+    WireProtocolError,
+    _check_wire_key,
+    _pack_items,
+    _pack_values,
+    _split_key_payload,
+    _unpack_items,
+    _unpack_values,
+)
 from repro.datastore.kvstore import KVServer, key_slot
 from repro.datastore.stats import TransportStats
 from repro.util.faults import NetworkFaultInjector
@@ -83,6 +95,7 @@ __all__ = [
     "TransportConfig",
     "WireProtocolError",
     "NetKVServer",
+    "ThreadedNetKVServer",
     "NetKVClient",
     "NetKVCluster",
     "NetKVStore",
@@ -90,12 +103,6 @@ __all__ = [
 
 _MAX_HEADER = 4096
 _RECV_CHUNK = 65536
-
-
-class WireProtocolError(StoreError):
-    """A frame violated the wire protocol (bad length, oversized header,
-    forbidden key bytes). The connection that produced it is untrusted:
-    the peer closes it instead of guessing where the next frame starts."""
 
 
 @dataclass(frozen=True)
@@ -207,112 +214,10 @@ def _recv_exact_unbuffered(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _check_wire_key(key: str) -> str:
-    """Reject keys the text protocol cannot carry unambiguously.
-
-    The header is whitespace-split, so keys with spaces would silently
-    truncate; NUL would corrupt the KEYS separator; newlines would
-    desync framing. Checked on both ends — at the client before bytes
-    leave, and at the server against hand-rolled peers.
-    """
-    if not key:
-        raise WireProtocolError("empty key")
-    if any(c in key for c in (" ", "\t", "\n", "\r", "\x00")):
-        raise WireProtocolError(f"key contains bytes the wire protocol reserves: {key!r}")
-    return key
-
-
-# --- batch (MGET/MSET/MDEL) payload framing ------------------------------
-#
-# Batch payloads reuse the protocol's length-prefixed style inside one
-# frame so a single malformed entry invalidates only its own frame, and
-# the outer framing (header + total payload length) stays intact.
-
-
-def _split_key_payload(payload: bytes) -> List[str]:
-    """Keys of an MGET/MDEL payload (NUL-joined; empty payload = no keys)."""
-    if not payload:
-        return []
-    try:
-        keys = payload.decode("utf-8").split("\x00")
-    except UnicodeDecodeError:
-        raise WireProtocolError("batch key payload is not UTF-8") from None
-    return [_check_wire_key(k) for k in keys]
-
-
-def _pack_values(values: List[Optional[bytes]]) -> bytes:
-    """MGET response payload: "<n>\\n<bytes>" per value, -1 for missing."""
-    parts: List[bytes] = []
-    for value in values:
-        if value is None:
-            parts.append(b"-1\n")
-        else:
-            parts.append(b"%d\n" % len(value))
-            parts.append(value)
-    return b"".join(parts)
-
-
-def _unpack_values(data: bytes, nkeys: int) -> List[Optional[bytes]]:
-    """Inverse of :func:`_pack_values`; strict about trailing garbage."""
-    out: List[Optional[bytes]] = []
-    pos = 0
-    for _ in range(nkeys):
-        nl = data.find(b"\n", pos)
-        if nl == -1:
-            raise WireProtocolError("truncated batch value header")
-        try:
-            n = int(data[pos:nl])
-        except ValueError:
-            raise WireProtocolError(
-                f"batch value length is not an integer: {data[pos:nl]!r}") from None
-        pos = nl + 1
-        if n < 0:
-            out.append(None)
-            continue
-        if pos + n > len(data):
-            raise WireProtocolError("truncated batch value bytes")
-        out.append(data[pos:pos + n])
-        pos += n
-    if pos != len(data):
-        raise WireProtocolError("trailing bytes after batch values")
-    return out
-
-
-def _pack_items(items: List[Tuple[str, bytes]]) -> bytes:
-    """MSET request payload: repeated "<key> <n>\\n<value bytes>" blocks."""
-    parts: List[bytes] = []
-    for key, value in items:
-        parts.append(f"{_check_wire_key(key)} {len(value)}\n".encode("utf-8"))
-        parts.append(value)
-    return b"".join(parts)
-
-
-def _unpack_items(data: bytes, max_payload: int) -> List[Tuple[str, bytes]]:
-    """Inverse of :func:`_pack_items`, bounds-checking every block."""
-    items: List[Tuple[str, bytes]] = []
-    pos = 0
-    while pos < len(data):
-        nl = data.find(b"\n", pos)
-        if nl == -1:
-            raise WireProtocolError("truncated batch item header")
-        try:
-            head = data[pos:nl].decode("utf-8")
-        except UnicodeDecodeError:
-            raise WireProtocolError("batch item header is not UTF-8") from None
-        key, sep, length_text = head.rpartition(" ")
-        try:
-            n = int(length_text)
-        except ValueError:
-            raise WireProtocolError(
-                f"batch item length is not an integer: {length_text!r}") from None
-        if not sep or n < 0 or n > max_payload:
-            raise WireProtocolError(f"malformed batch item header: {head!r}")
-        pos = nl + 1
-        if pos + n > len(data):
-            raise WireProtocolError("truncated batch item bytes")
-        items.append((_check_wire_key(key), data[pos:pos + n]))
-        pos += n
-    return items
+# Wire-protocol key validation and MGET/MSET/MDEL payload framing live
+# in repro.datastore.aio (shared with the event-loop transport) and are
+# re-exported above: _check_wire_key, _split_key_payload, _pack_values,
+# _unpack_values, _pack_items, _unpack_items.
 
 
 def _chunks(seq: List, size: int) -> List[List]:
@@ -330,7 +235,7 @@ class _Handler(socketserver.BaseRequestHandler):
     """
 
     def handle(self) -> None:  # noqa: C901 - a protocol switch is a switch
-        server: "NetKVServer" = self.server.owner  # type: ignore[attr-defined]
+        server: "ThreadedNetKVServer" = self.server.owner  # type: ignore[attr-defined]
         sock = self.request
         injector = server.fault_injector
         if injector is not None and injector.connection_fate() == "drop":
@@ -341,7 +246,7 @@ class _Handler(socketserver.BaseRequestHandler):
         finally:
             server._unregister(sock)
 
-    def _serve(self, server: "NetKVServer", sock: socket.socket,
+    def _serve(self, server: "ThreadedNetKVServer", sock: socket.socket,
                injector: Optional[NetworkFaultInjector]) -> None:
         buf = _RecvBuffer(sock)
         while True:
@@ -417,7 +322,7 @@ class _Handler(socketserver.BaseRequestHandler):
 
     @staticmethod
     def _read_payload(buf: _RecvBuffer, cmd: str, args: List[str],
-                      server: "NetKVServer") -> Tuple[bytes, List[str]]:
+                      server: "ThreadedNetKVServer") -> Tuple[bytes, List[str]]:
         """Read a payload-carrying command's body (last arg = byte length),
         or raise :class:`WireProtocolError`."""
         min_args = 2 if cmd == "SET" else 1  # SET also carries its key
@@ -433,7 +338,7 @@ class _Handler(socketserver.BaseRequestHandler):
         return buf.recv_exact(length), args[:-1]
 
     @staticmethod
-    def _dispatch(server: "NetKVServer", cmd: str, args: List[str],
+    def _dispatch(server: "ThreadedNetKVServer", cmd: str, args: List[str],
                   payload: bytes) -> Optional[bytes]:
         store = server.backend
         with server.lock:
@@ -494,10 +399,13 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         thread.start()
 
 
-class NetKVServer:
-    """One networked shard wrapping an in-memory :class:`KVServer`.
+class ThreadedNetKVServer:
+    """The thread-per-connection shard server (pre-event-loop).
 
-    ``fault_injector`` plugs a
+    Kept as the comparison baseline for the async transport benchmarks
+    (``benchmarks/test_ext_netkv_async.py``) and as a fallback; the
+    production server is the event-loop :class:`NetKVServer` facade
+    below. ``fault_injector`` plugs a
     :class:`~repro.util.faults.NetworkFaultInjector` into the accept
     and request paths for degraded-network testing.
     """
@@ -533,7 +441,7 @@ class NetKVServer:
     def address(self) -> Tuple[str, int]:
         return self._tcp.server_address  # type: ignore[return-value]
 
-    def start(self) -> "NetKVServer":
+    def start(self) -> "ThreadedNetKVServer":
         self._thread = threading.Thread(target=self._tcp.serve_forever, daemon=True)
         self._thread.start()
         return self
@@ -575,11 +483,29 @@ class NetKVServer:
             serve_thread.join(timeout=join_timeout)
             self._thread = None
 
-    def __enter__(self) -> "NetKVServer":
+    def __enter__(self) -> "ThreadedNetKVServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+
+class NetKVServer(AsyncNetKVServer):
+    """One networked shard wrapping an in-memory :class:`KVServer`.
+
+    Since the event-loop rewrite this is a thin facade over
+    :class:`repro.datastore.aio.AsyncNetKVServer`: one dedicated loop
+    thread per shard, one protocol object (not one thread) per
+    connection, zero-copy buffered framing, and write-queue
+    backpressure — same wire protocol, same error discipline, same
+    ``start()/stop()/address`` surface as the threaded server it
+    replaced (kept as :class:`ThreadedNetKVServer` for benchmarks).
+
+    ``fault_injector`` plugs a
+    :class:`~repro.util.faults.NetworkFaultInjector` into the accept
+    and request paths for degraded-network testing; ``max_connections``
+    bounds concurrently served connections (see OPERATIONS.md).
+    """
 
 
 class NetKVClient:
@@ -799,44 +725,93 @@ class _ShardState:
 
 
 class _ClientPool:
-    """Bounded free-list of connections to one shard.
+    """Bounded pool of connections to one shard (threaded transport).
 
     Feedback managers fetch through thread pools, so several threads
     may talk to the same shard at once; the pool lets each borrow its
     own connection instead of serializing on one socket. Connections
     that failed mid-operation are discarded, never reused.
+
+    Total outstanding connections are capped by ``max_size`` with a
+    bounded semaphore: a checkout that misses the idle list *waits for
+    a permit* instead of opening a fresh socket per concurrent miss —
+    the old behavior churned one short-lived connection per miss under
+    bursty fan-out, defeating the pool entirely.
     """
 
     def __init__(self, address: Tuple[str, int], config: TransportConfig,
-                 stats: TransportStats, spawn_rng, max_idle: int = 4) -> None:
+                 stats: TransportStats, spawn_rng, max_idle: int = 4,
+                 max_size: int = 8) -> None:
+        if max_size < max_idle:
+            raise StoreError("pool max_size must be >= max_idle")
         self.address = address
         self._config = config
         self._stats = stats
         self._spawn_rng = spawn_rng
         self._max_idle = max_idle
+        self._max_size = max_size
+        self._permits = threading.BoundedSemaphore(max_size)
         self._idle: List[NetKVClient] = []
         self._lock = threading.Lock()
+        self.created = 0  # lifetime connections opened (regression hook)
 
     def acquire(self) -> NetKVClient:
+        self._permits.acquire()
         with self._lock:
             if self._idle:
                 return self._idle.pop()
+            self.created += 1
         return NetKVClient(self.address, config=self._config,
                            stats=self._stats, rng=self._spawn_rng())
 
     def release(self, client: NetKVClient, discard: bool = False) -> None:
-        if not discard:
-            with self._lock:
-                if len(self._idle) < self._max_idle:
-                    self._idle.append(client)
-                    return
-        client.close()
+        try:
+            if not discard:
+                with self._lock:
+                    if len(self._idle) < self._max_idle:
+                        self._idle.append(client)
+                        return
+            client.close()
+        finally:
+            try:
+                self._permits.release()
+            except ValueError:
+                pass  # release without acquire: never pooled, don't wedge
 
     def close(self) -> None:
         with self._lock:
             idle, self._idle = self._idle, []
         for client in idle:
             client.close()
+
+
+class _ChannelPool:
+    """Pool facade over one shared coalescing channel per shard.
+
+    The async transport multiplexes every borrower onto a single
+    :class:`~repro.datastore.aio.AsyncClientChannel` — concurrent
+    checkouts become queue depth (and fold into batch frames) instead
+    of parallel sockets. ``release(discard=True)`` is a no-op because
+    the channel already drops its connection internally on transport
+    failure; the acquire/release surface only exists so the cluster's
+    ``_shard_op`` works against either transport.
+    """
+
+    def __init__(self, address: Tuple[str, int], config: TransportConfig,
+                 stats: TransportStats, spawn_rng, loop_provider) -> None:
+        self.address = address
+        self._channel = AsyncClientChannel(
+            address, config, stats=stats, loop_thread=loop_provider,
+            rng=spawn_rng())
+
+    def acquire(self) -> AsyncClientChannel:
+        return self._channel
+
+    def release(self, client, discard: bool = False) -> None:
+        pass
+
+    def close(self) -> None:
+        self._channel.close()
 
 
 class NetKVCluster:
@@ -869,24 +844,40 @@ class NetKVCluster:
                  config: Optional[TransportConfig] = None,
                  rng: Optional[np.random.Generator] = None,
                  replication: int = 1,
-                 probe_cooldown: float = 0.25) -> None:
+                 probe_cooldown: float = 0.25,
+                 transport: str = "async") -> None:
         if not addresses:
             raise StoreError("cluster needs at least one server address")
         if replication < 1:
             raise StoreError("replication must be >= 1")
         if probe_cooldown < 0:
             raise StoreError("probe_cooldown must be >= 0")
+        if transport not in ("async", "threaded"):
+            raise StoreError(f"unknown transport {transport!r} "
+                             "(expected 'async' or 'threaded')")
         self.addresses = [tuple(a) for a in addresses]
         self.config = config or TransportConfig()
         self.stats = TransportStats()
         self.replication = min(int(replication), len(self.addresses))
         self.probe_cooldown = float(probe_cooldown)
+        self.transport = transport
         self._rng = rng if rng is not None else np.random.default_rng()
         self._rng_lock = threading.Lock()
-        self._pools = [
-            _ClientPool(addr, self.config, self.stats, self._spawn_rng)
-            for addr in self.addresses
-        ]
+        # One event loop per cluster, created lazily on the first op so
+        # never-connected clusters (routing-only tests) stay threadless.
+        self._loop_thread: Optional[LoopThread] = None
+        self._loop_lock = threading.Lock()
+        if transport == "async":
+            self._pools: List = [
+                _ChannelPool(addr, self.config, self.stats, self._spawn_rng,
+                             self._get_loop)
+                for addr in self.addresses
+            ]
+        else:
+            self._pools = [
+                _ClientPool(addr, self.config, self.stats, self._spawn_rng)
+                for addr in self.addresses
+            ]
         # Probes must answer fast even when the shard is dead: one
         # attempt, no retry ladder.
         probe_cfg = dataclasses.replace(self.config, retries=0)
@@ -915,6 +906,12 @@ class NetKVCluster:
         with self._rng_lock:
             seed = int(self._rng.integers(0, 2 ** 63))
         return np.random.default_rng(seed)
+
+    def _get_loop(self) -> LoopThread:
+        with self._loop_lock:
+            if self._loop_thread is None or not self._loop_thread.is_alive():
+                self._loop_thread = LoopThread(name="netkv-cluster")
+            return self._loop_thread
 
     # --- placement and health --------------------------------------------
 
@@ -1569,6 +1566,10 @@ class NetKVCluster:
             pool.close()
         for client in self._probers + self.clients:
             client.close()
+        with self._loop_lock:
+            lt, self._loop_thread = self._loop_thread, None
+        if lt is not None:
+            lt.stop()
 
 
 class NetKVStore(DataStore):
@@ -1586,10 +1587,12 @@ class NetKVStore(DataStore):
                 config: Optional[TransportConfig] = None,
                 rng: Optional[np.random.Generator] = None,
                 replication: int = 1,
-                probe_cooldown: float = 0.25) -> "NetKVStore":
+                probe_cooldown: float = 0.25,
+                transport: str = "async") -> "NetKVStore":
         return cls(NetKVCluster(addresses, config=config, rng=rng,
                                 replication=replication,
-                                probe_cooldown=probe_cooldown))
+                                probe_cooldown=probe_cooldown,
+                                transport=transport))
 
     @property
     def transport_stats(self) -> TransportStats:

@@ -173,6 +173,12 @@ class TransportStats:
     MGET/MSET/MDEL round trips; ``batched_keys`` — keys carried by
     those round trips; ``max_batch_keys`` — the deepest single batch
     (pipeline-depth high-water mark, a count not a cumulative sum).
+    Coalescing counters (async transport): ``coalesced_requests`` —
+    count of batch round trips the client channel synthesized by
+    folding concurrent single-key GET/SET/DEL ops into one
+    MGET/MSET/MDEL frame; ``coalesced_keys`` — cumulative count of
+    single-key ops absorbed by those folds (each fold saves
+    ``keys - 1`` round trips).
     """
 
     def __init__(self) -> None:
@@ -193,6 +199,8 @@ class TransportStats:
         self.batched_requests = 0
         self.batched_keys = 0
         self.max_batch_keys = 0
+        self.coalesced_requests = 0
+        self.coalesced_keys = 0
         self.latency = LatencyHistogram()
 
     def note_request(self, nbytes_sent: int) -> None:
@@ -248,6 +256,13 @@ class TransportStats:
             if nkeys > self.max_batch_keys:
                 self.max_batch_keys = nkeys
 
+    def note_coalesced(self, nkeys: int) -> None:
+        with self._lock:
+            self.coalesced_requests += 1
+            self.coalesced_keys += nkeys
+            if nkeys > self.max_batch_keys:
+                self.max_batch_keys = nkeys
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -267,6 +282,8 @@ class TransportStats:
                 "batched_requests": self.batched_requests,
                 "batched_keys": self.batched_keys,
                 "max_batch_keys": self.max_batch_keys,
+                "coalesced_requests": self.coalesced_requests,
+                "coalesced_keys": self.coalesced_keys,
                 "latency": self.latency.as_dict(),
             }
 
@@ -278,4 +295,5 @@ class TransportStats:
             self.failovers = self.shard_down_events = self.shard_up_events = 0
             self.read_repairs = self.rename_orphans = 0
             self.batched_requests = self.batched_keys = self.max_batch_keys = 0
+            self.coalesced_requests = self.coalesced_keys = 0
             self.latency.reset()

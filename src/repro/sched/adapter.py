@@ -75,6 +75,14 @@ class ThreadAdapter(SchedulerAdapter):
     campaign simulator and real laptop-scale runs.
     """
 
+    #: Every submitted job eventually settles (completes, fails, or is
+    #: cancelled) and its ``on_complete`` always fires — the contract
+    #: the WM's coroutine round barrier (``asyncio.gather`` over settle
+    #: futures) depends on. Inline/virtual adapters (ChaosAdapter,
+    #: FluxAdapter) deliberately lack this flag: they drain on
+    #: ``wait_all``/virtual time and must keep the legacy sync round.
+    settles_async = True
+
     def __init__(self, max_workers: int = 4) -> None:
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self._records: Dict[int, JobRecord] = {}
@@ -121,6 +129,16 @@ class ThreadAdapter(SchedulerAdapter):
         """Block until every submitted job has finished (test/demo helper)."""
         for future in list(self._futures.values()):
             future.result(timeout=timeout)
+
+    @property
+    def executor(self):
+        """``concurrent.futures``-style executor for WM task offloads.
+
+        The coroutine WM runs its CPU-bound tasks via
+        ``loop.run_in_executor(adapter.executor, ...)`` so offloads and
+        job bodies share one substrate instead of spawning side pools.
+        """
+        return self._pool
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True)

@@ -25,13 +25,14 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Callable, Deque, Dict, Optional, Tuple
 
 from repro.sched.adapter import SchedulerAdapter
 from repro.sched.jobspec import JobRecord, JobSpec, JobState
 
-__all__ = ["StrideScheduler", "FairShareAdapter", "TenantAdapter"]
+__all__ = ["StrideScheduler", "FairShareAdapter", "TenantAdapter",
+           "TenantExecutor"]
 
 #: Stride numerator; any constant works, this keeps passes readable.
 _STRIDE_K = 1 << 16
@@ -80,12 +81,59 @@ class StrideScheduler:
         return dict(self._pass)
 
 
-class TenantAdapter(SchedulerAdapter):
-    """One tenant's scoped handle on a :class:`FairShareAdapter`."""
+class TenantExecutor:
+    """``concurrent.futures``-style view over a tenant's fair share.
+
+    The coroutine WM offloads its CPU-bound tasks through
+    ``loop.run_in_executor``; handing it this object (instead of a
+    private thread pool) routes those offloads through the arbiter as
+    ordinary ``wm-offload`` jobs, so a tenant's coordination work is
+    charged against the same share as its simulation jobs and cannot
+    starve other tenants.
+    """
 
     def __init__(self, shared: "FairShareAdapter", tenant: str) -> None:
         self.shared = shared
         self.tenant = tenant
+
+    def submit(self, fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> "Future[Any]":
+        future: "Future[Any]" = Future()
+
+        def body() -> Any:
+            return fn(*args, **kwargs)
+
+        def done(record: JobRecord) -> None:
+            if record.state is JobState.COMPLETED:
+                future.set_result(record.result)
+            elif isinstance(record.result, BaseException):
+                future.set_exception(record.result)
+            else:
+                future.set_exception(
+                    RuntimeError(f"offload job ended {record.state.name}")
+                )
+
+        spec = JobSpec(name="wm-offload", ncores=1, tag=f"{self.tenant}-offload")
+        self.shared.submit_for(self.tenant, spec, fn=body, on_complete=done)
+        return future
+
+
+class TenantAdapter(SchedulerAdapter):
+    """One tenant's scoped handle on a :class:`FairShareAdapter`."""
+
+    #: Same settle contract as ThreadAdapter: the pool always fires
+    #: ``on_complete`` (run, failure, or queued-cancel), so the WM's
+    #: coroutine round barrier can gather on settle futures.
+    settles_async = True
+
+    def __init__(self, shared: "FairShareAdapter", tenant: str) -> None:
+        self.shared = shared
+        self.tenant = tenant
+
+    @property
+    def executor(self) -> TenantExecutor:
+        """Offload executor scoped — and fair-share billed — to this tenant."""
+        return TenantExecutor(self.shared, self.tenant)
 
     def submit(self, spec: JobSpec,
                fn: Optional[Callable[[], Any]] = None,

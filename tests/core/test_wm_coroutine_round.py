@@ -1,0 +1,170 @@
+"""Tests for the coroutine round core: settle hooks, the async
+barrier, and fair-share offload billing.
+
+The threaded WM ended a round by joining the whole worker pool; the
+coroutine WM gathers per-tag *settle* futures instead, so only the
+jobs this round launched gate the barrier. These tests pin down the
+settle contract on the JobTracker, the WM's dispatch between the
+legacy and coroutine paths, and the TenantExecutor that keeps offloads
+billed to the tenant's fair share.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.jobs import JobTracker, JobTypeConfig
+from repro.sched.adapter import ThreadAdapter
+from repro.sched.jobspec import JobState
+from repro.sched.shares import FairShareAdapter, TenantExecutor
+from tests.core.test_wm import make_wm
+
+
+def _tracker(max_retries=2, max_workers=1):
+    adapter = ThreadAdapter(max_workers=max_workers)
+    cfg = JobTypeConfig(name="probe", max_retries=max_retries)
+    return JobTracker(cfg, adapter), adapter
+
+
+class TestSettleHook:
+    def test_fires_once_on_completion(self):
+        tracker, adapter = _tracker()
+        settled = []
+        tracker.launch("t1", fn=lambda: 42, on_settled=settled.append)
+        adapter.wait_all()
+        assert [r.state for r in settled] == [JobState.COMPLETED]
+        assert settled[0].result == 42
+
+    def test_retried_failure_settles_only_at_the_end(self):
+        tracker, adapter = _tracker(max_retries=2)
+        settled = []
+
+        def boom():
+            raise ValueError("first attempt dies")
+
+        tracker.launch("t1", fn=boom, on_settled=settled.append)
+        adapter.wait_all()  # failure + its resubmission both drain
+        # The failed attempt was resubmitted (fn-less, so it completes);
+        # the hook must NOT have fired for the retryable failure.
+        assert [r.state for r in settled] == [JobState.COMPLETED]
+        assert tracker.abandoned == []
+        assert len(tracker.completed) == 1
+
+    def test_exhausted_retries_settle_with_the_failure(self):
+        tracker, adapter = _tracker(max_retries=0)
+        settled = []
+
+        def boom():
+            raise ValueError("no retries left")
+
+        tracker.launch("t1", fn=boom, on_settled=settled.append)
+        adapter.wait_all()
+        assert [r.state for r in settled] == [JobState.FAILED]
+        assert tracker.abandoned == ["t1"]
+
+    def test_cancelled_job_settles(self):
+        tracker, adapter = _tracker(max_workers=1)
+        release = threading.Event()
+        blocker_done = threading.Event()
+        settled = []
+        # Occupy the only worker so the second launch stays queued,
+        # then cancel it while still pending. A queued-cancel fires the
+        # settle hook synchronously; the barrier must not hang on it.
+        tracker.launch("blocker", fn=lambda: release.wait(10),
+                       on_settled=lambda r: blocker_done.set())
+        record = tracker.launch("t1", fn=lambda: None,
+                                on_settled=settled.append)
+        tracker.adapter.cancel(record.job_id)
+        assert [r.state for r in settled] == [JobState.CANCELLED]
+        release.set()
+        assert blocker_done.wait(10)
+
+
+class TestCoroutineRound:
+    def test_thread_adapter_opts_into_async_rounds(self):
+        wm, _ = make_wm()
+        try:
+            assert wm._async_rounds  # ThreadAdapter.settles_async
+            assert wm._loop_thread is None  # lazy until the first round
+        finally:
+            wm.close()
+
+    def test_async_round_runs_the_whole_pipeline(self):
+        wm, store = make_wm()
+        try:
+            wm.round(advance_us=1.0)
+            assert wm._loop_thread is not None and wm._loop_thread.is_alive()
+            c = wm.counters
+            assert c["patches_selected"] > 0
+            assert c["cg_spawned"] > 0
+            assert c["cg_finished"] > 0
+            assert len(store.keys("rdf/live/")) > 0
+            loop_thread = wm._loop_thread
+        finally:
+            wm.close()
+        assert not loop_thread.is_alive()  # close() joins the round loop
+
+    def test_round_barrier_leaves_nothing_inflight(self):
+        wm, _ = make_wm()
+        try:
+            for _ in range(2):
+                wm.round(advance_us=1.0)
+                assert wm._round_inflight == []
+                for tracker in wm.trackers.values():
+                    assert tracker.nactive() == 0
+        finally:
+            wm.close()
+
+    def test_legacy_path_still_works_when_adapter_opts_out(self):
+        wm, _ = make_wm()
+        try:
+            wm._async_rounds = False  # adapters without settles_async
+            wm.round(advance_us=1.0)
+            assert wm._loop_thread is None
+            assert wm.counters["cg_finished"] > 0
+        finally:
+            wm.close()
+
+    def test_wait_false_takes_the_legacy_non_blocking_path(self):
+        wm, _ = make_wm()
+        try:
+            wm.round(wait=False)
+            assert wm._loop_thread is None  # coroutine core not engaged
+            wm.adapter.wait_all()
+        finally:
+            wm.close()
+
+
+class TestTenantExecutor:
+    def test_offload_result_round_trips(self):
+        shared = FairShareAdapter(max_workers=2)
+        try:
+            ex = TenantExecutor(shared, "acme")
+            assert ex.submit(lambda a, b: a + b, 40, 2).result(10) == 42
+        finally:
+            shared.shutdown()
+
+    def test_offload_exception_propagates(self):
+        shared = FairShareAdapter(max_workers=2)
+        try:
+            ex = TenantExecutor(shared, "acme")
+
+            def boom():
+                raise RuntimeError("offload died")
+
+            with pytest.raises(RuntimeError, match="offload died"):
+                ex.submit(boom).result(10)
+        finally:
+            shared.shutdown()
+
+    def test_offloads_are_billed_to_the_tenant(self):
+        shared = FairShareAdapter(max_workers=2)
+        try:
+            ex = TenantExecutor(shared, "acme")
+            ex.submit(lambda: None).result(10)
+            stats = shared.share_stats()
+            assert stats["acme"]["dispatched"] >= 1
+        finally:
+            shared.shutdown()

@@ -101,8 +101,11 @@ class TestRestoreSideTables:
         # after run(wait=False) used to snapshot while setup jobs were
         # still in flight, stranding their patches (popped from the
         # selector, present in no side table) and dropping the prepared
-        # ready buffers on restore.
-        wm, store = make_wm(max_workers=2)
+        # ready buffers on restore. A ready target above the sim-slot
+        # count guarantees the buffer is non-empty at quiesce regardless
+        # of worker timing (with target == slots the sims can legally
+        # drain it, which made this test flaky).
+        wm, store = make_wm(max_workers=2, cg_ready_target=4, max_cg_sims=1)
         wm.run(nrounds=2, wait=False)
         wm.checkpoint()
         # checkpoint() quiesced: nothing is in flight afterwards.

@@ -211,16 +211,40 @@ class TestShutdown:
                 break
         assert refused
 
-    def test_stop_joins_handler_threads(self):
-        """Regression: ``stop()`` must join connection-handler threads.
+    def test_stop_severs_connections_and_joins_loop(self):
+        """``stop()`` must sever live connections and join the loop thread.
+
+        The event-loop server replaces per-connection handler threads
+        with one loop thread per shard; stop() awaits in-flight serve
+        tasks (acked writes are fully applied), aborts the transports,
+        and joins the loop — a "stopped" shard must not keep serving.
+        """
+        srv = NetKVServer().start()
+        client = NetKVClient(srv.address)
+        client.set("k", b"v")  # opens a persistent connection
+        with srv._conn_lock:
+            conns = list(srv._conns)
+        assert conns, "connection was not tracked"
+        loop_thread = srv._loop_thread
+        assert loop_thread is not None and loop_thread.is_alive()
+        srv.stop()
+        assert not loop_thread.is_alive()  # loop thread joined
+        assert srv.connection_count() == 0  # live connections severed
+        client.close()
+
+    def test_threaded_stop_joins_handler_threads(self):
+        """Regression (threaded baseline): ``stop()`` must join handler
+        threads.
 
         Handler threads are daemons, and ``socketserver`` only tracks
         non-daemon threads for ``server_close()`` to join — so the old
         shutdown path left handlers running and could drop an acked
-        write on Ctrl-C (`repro netkv --serve`). ``stop()`` now tracks
-        and joins them itself.
+        write on Ctrl-C (`repro netkv --serve`). ``stop()`` tracks and
+        joins them itself.
         """
-        srv = NetKVServer().start()
+        from repro.datastore.netkv import ThreadedNetKVServer
+
+        srv = ThreadedNetKVServer().start()
         client = NetKVClient(srv.address)
         client.set("k", b"v")  # opens a persistent handler connection
         with srv._conn_lock:
