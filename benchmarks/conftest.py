@@ -37,12 +37,19 @@ def pytest_configure(config):
         "(connection sweeps, coalescing throughput); set "
         "REPRO_SKIP_ASYNC=1 to skip on constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "persist: bench measures durable-shard overhead (WAL fsync, "
+        "snapshots, migration); set REPRO_SKIP_PERSIST=1 to skip on "
+        "constrained runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
              ("REPRO_SKIP_SERVICE", "service"),
-             ("REPRO_SKIP_ASYNC", "async_transport")]
+             ("REPRO_SKIP_ASYNC", "async_transport"),
+             ("REPRO_SKIP_PERSIST", "persist")]
     for env, marker in gates:
         if not os.environ.get(env):
             continue

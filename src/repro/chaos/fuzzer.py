@@ -43,6 +43,7 @@ def save_replay(path: str, schedule: FaultSchedule, config: ChaosConfig) -> None
             "round_seconds": config.round_seconds,
             "nshards": config.nshards,
             "replication": config.replication,
+            "durable": config.durable,
         },
         "events": schedule.to_json(),
     }

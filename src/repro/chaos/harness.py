@@ -128,6 +128,9 @@ class ChaosConfig:
     round_seconds: float = 60.0
     nshards: int = 4
     replication: int = 2
+    durable: bool = True
+    """Shards keep a durable log; ``crash_restart`` replays it."""
+
     advance_us: float = 1.0
     grid: int = 16
     trace_capacity: int = 0
@@ -188,6 +191,7 @@ class ChaosCampaign:
             nshards=self.config.nshards,
             replication=self.config.replication,
             injector=self.injector,
+            durable=self.config.durable,
         )
         self.suite = InvariantSuite()
         self.tracer: Optional[trace.Tracer] = None
@@ -202,6 +206,9 @@ class ChaosCampaign:
             "restores": 0,
             "stall_rounds": 0,
             "clock_skips": 0,
+            "crash_restarts": 0,
+            "reshards": 0,
+            "slots_moved": 0,
         }
         self._stall_rounds = 0
         self._pending_skip = 0.0
@@ -262,6 +269,13 @@ class ChaosCampaign:
                 self.chaos_counters["clock_skips"] += 1
             elif event.kind == "checkpoint_restore":
                 self._checkpoint_restore()
+            elif event.kind == "crash_restart":
+                self.store.crash_restart(int(event.arg))
+                self.chaos_counters["crash_restarts"] += 1
+            elif event.kind == "reshard":
+                moved = self.store.reshard(int(event.arg))
+                self.chaos_counters["reshards"] += 1
+                self.chaos_counters["slots_moved"] += moved
 
     def _checkpoint_restore(self) -> None:
         """Checkpoint, rebuild the WM from persistent state, swap it in.

@@ -13,6 +13,10 @@ paper's coordination guarantees:
   losing one silently corrupts the feedback loops.
 - ``tombstone_resurrection`` — a delete the store acknowledged must not
   come back when a dead replica rejoins with its stale copy.
+- ``durability_after_crash`` — a shard that crash-restarts must hold at
+  least what its durable log replays (every fsynced record, at no older
+  a version); ack-after-fsync is the contract the persistent NetKV
+  shards make.
 - ``jobs_terminal`` — every job the WM launched ends COMPLETED, FAILED
   (retried/abandoned), or CANCELLED; a job in limbo means the tracker
   leaks resources forever.
@@ -84,6 +88,7 @@ class InvariantSuite:
         out: List[Violation] = []
         out += self._counter_conservation(campaign.wm, round_no)
         out += self._acked_state(campaign.store, round_no, strict=False)
+        out += self._durability(campaign.store, round_no)
         out += self._trace_tree(campaign.tracer, round_no)
         return out
 
@@ -93,6 +98,7 @@ class InvariantSuite:
         out: List[Violation] = []
         out += self._counter_conservation(campaign.wm, round_no)
         out += self._acked_state(campaign.store, round_no, strict=True)
+        out += self._durability(campaign.store, round_no)
         out += self._jobs_terminal(campaign, round_no)
         out += self._trace_tree(campaign.tracer, round_no)
         return out
@@ -132,6 +138,16 @@ class InvariantSuite:
                 name = "acked_write_lost"
             out.append(Violation(name, round_no, problem))
         return out
+
+    def _durability(self, store, round_no: int) -> List[Violation]:
+        """Shards must hold at least what their durable log replays.
+
+        ``hasattr``-guarded so the suite also runs against stores with
+        no durability promise (they simply have nothing to check)."""
+        if not hasattr(store, "verify_durable"):
+            return []
+        return [Violation("durability_after_crash", round_no, problem)
+                for problem in store.verify_durable()]
 
     def _jobs_terminal(self, campaign, round_no: int) -> List[Violation]:
         out: List[Violation] = []

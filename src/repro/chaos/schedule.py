@@ -24,6 +24,15 @@ Fault kinds (``arg`` meaning in parentheses):
   restart-heavy operations of the Mini-MuMMI report).
 - ``clock_skip`` — insert ``arg`` seconds of dead virtual time before
   the next round (an allocation gap).
+- ``crash_restart`` — kill one shard *process* (shard index) and
+  restart it immediately: the restarted shard holds exactly what its
+  durable log replays (everything acked, for a durable store; nothing,
+  for an in-memory one), which is the crash-consistency invariant the
+  persistent NetKV shards make.
+- ``reshard`` — live slot migration: move half of one shard's owned
+  hash slots (shard index) to its successor mid-campaign, with the
+  handoff copy and hinted leftovers the online ``migrate_slots`` path
+  produces.
 
 Schedules serialize to plain JSON so a failing campaign can be saved
 and replayed with ``repro chaos --replay FILE``.
@@ -48,6 +57,8 @@ FAULT_KINDS = (
     "stall",
     "checkpoint_restore",
     "clock_skip",
+    "crash_restart",
+    "reshard",
 )
 
 
@@ -120,6 +131,12 @@ class FaultSchedule:
     def clock_skip(self, at: float, seconds: float) -> "FaultSchedule":
         return self.add(FaultEvent(at, "clock_skip", float(seconds)))
 
+    def crash_restart(self, at: float, shard: int) -> "FaultSchedule":
+        return self.add(FaultEvent(at, "crash_restart", float(shard)))
+
+    def reshard(self, at: float, shard: int) -> "FaultSchedule":
+        return self.add(FaultEvent(at, "reshard", float(shard)))
+
     # --- views ------------------------------------------------------------
 
     @property
@@ -185,6 +202,10 @@ class FaultSchedule:
         nevents = int(rng.integers(1, max_events + 1))
         kinds = ("shard_down", "delay", "garble", "stall",
                  "checkpoint_restore", "clock_skip", "heal")
+        # Frozen mix — newer kinds (crash_restart, reshard) are left out
+        # on purpose: adding them here would re-deal every schedule that
+        # saved seeds and replay files already pin down. Campaigns opt
+        # into them through the DSL builders instead.
         # Kill-heavy mix: shard faults are the paper's headline failure mode.
         weights = np.array([0.3, 0.15, 0.1, 0.12, 0.13, 0.1, 0.1])
         for _ in range(nevents):

@@ -17,7 +17,14 @@ store reimplements them deterministically on plain dicts:
   acked value;
 - deletes write tombstones (versioned ``None``), which are only
   garbage-collected when every replica is healthy and fully repaired;
-- ``shard_up`` triggers anti-entropy repair of all outstanding hints.
+- ``shard_up`` triggers anti-entropy repair of all outstanding hints;
+- every shard keeps a *durable log* mirroring what its write-ahead log
+  would hold (``durable=False`` models memory-only shards);
+  :meth:`crash_restart` wipes a shard's memory and replays that log —
+  exactly the acked set, like a persistent NetKV shard restarting;
+- :meth:`reshard` migrates half of one shard's owned hash slots to its
+  successor live, with the handoff copy and hinted leftovers the
+  online ``migrate_slots`` path produces.
 
 The store keeps its own *ack log* — the last value (or deletion) each
 key was acknowledged with. :meth:`verify_acked` replays the log against
@@ -65,6 +72,7 @@ class ChaosStore(DataStore):
         replication: int = 2,
         injector: Optional[NetworkFaultInjector] = None,
         rng: Optional[np.random.Generator] = None,
+        durable: bool = True,
     ) -> None:
         if nshards < 1:
             raise StoreError("ChaosStore needs at least one shard")
@@ -74,13 +82,20 @@ class ChaosStore(DataStore):
             )
         self.nshards = nshards
         self.replication = replication
+        self.durable = durable
         self.injector = injector if injector is not None else NetworkFaultInjector(
             rng=rng if rng is not None else np.random.default_rng(0)
         )
         self._shards: List[Dict[str, _Entry]] = [dict() for _ in range(nshards)]
+        # What each shard's write-ahead log would replay after a crash:
+        # mirrors every entry the shard stores, because a real shard
+        # acks only after the WAL fsyncs the record.
+        self._log: List[Dict[str, _Entry]] = [dict() for _ in range(nshards)]
         self._down: List[bool] = [False] * nshards
         # Hinted handoff: per shard, the keys whose newest write it missed.
         self._pending: List[Set[str]] = [set() for _ in range(nshards)]
+        # Live-migration overrides: slot -> owning shard (default s % n).
+        self._slot_owner: Dict[int, int] = {}
         self._version = 0
         self._lock = threading.RLock()
         self.transport_stats = TransportStats()
@@ -89,12 +104,30 @@ class ChaosStore(DataStore):
             "delayed": 0, "garbled": 0, "unavailable": 0,
         }
         self._virtual_delay = 0.0
+        # Version each key was last acked at: anti-entropy may install
+        # an older copy it finds, but only a copy at least this fresh
+        # clears the hint that keeps a shard from serving stale data.
+        self._acked_ver: Dict[str, int] = {}
 
     # --- placement / wire model ------------------------------------------
 
+    def _owner(self, slot: int) -> int:
+        return self._slot_owner.get(slot, slot % self.nshards)
+
     def _replicas(self, key: str) -> List[int]:
-        base = key_slot(key) % self.nshards
+        base = self._owner(key_slot(key))
         return [(base + r) % self.nshards for r in range(self.replication)]
+
+    def _store_entry(self, i: int, key: str, entry: _Entry) -> None:
+        """All shard writes funnel through here so the durable log
+        mirrors exactly what the shard acked."""
+        self._shards[i][key] = entry
+        if self.durable:
+            self._log[i][key] = entry
+
+    def _drop_entry(self, i: int, key: str) -> None:
+        self._shards[i].pop(key, None)
+        self._log[i].pop(key, None)
 
     def _ups(self, key: str) -> List[int]:
         return [i for i in self._replicas(key) if not self._down[i]]
@@ -136,9 +169,10 @@ class ChaosStore(DataStore):
             if self._down[i]:
                 self._pending[i].add(key)
             else:
-                self._shards[i][key] = entry
+                self._store_entry(i, key, entry)
                 self._pending[i].discard(key)
         self.acked[key] = payload
+        self._acked_ver[key] = self._version
 
     def _lookup(self, key: str, repair: bool = True) -> bytes:
         """Newest live value among healthy *current* replicas.
@@ -171,7 +205,7 @@ class ChaosStore(DataStore):
             for i in ups:
                 entry = self._shards[i].get(key)
                 if entry is None or entry[0] < best_ver:
-                    self._shards[i][key] = (best_ver, best_payload)
+                    self._store_entry(i, key, (best_ver, best_payload))
                     self._pending[i].discard(key)
                     self.transport_stats.note_read_repair()
         if best_ver < 0 or best_payload is None:
@@ -248,6 +282,90 @@ class ChaosStore(DataStore):
                 self.transport_stats.note_shard_up()
             self._repair_all()
 
+    def crash_restart(self, index: int) -> None:
+        """Kill one shard process and restart it from its durable log.
+
+        A durable shard replays exactly the acked set — its WAL fsynced
+        every record before the ack, so nothing acked is missing and
+        nothing unacked resurrects. A memory-only (``durable=False``)
+        shard comes back empty with no record of what it lost; its
+        peers' copies and hints are the only protection left, which is
+        precisely the gap the persistent shards close.
+        """
+        with self._lock:
+            i = index % self.nshards
+            if not self._down[i]:
+                self.transport_stats.note_shard_down()
+            self._shards[i] = dict(self._log[i]) if self.durable else {}
+            self._down[i] = False
+            self.transport_stats.note_shard_up()
+            self._repair_all()
+
+    def reshard(self, index: int) -> int:
+        """Live slot migration: move every other hash slot owned by
+        shard ``index`` to its successor, handing off the newest copies.
+
+        Only slots currently holding acked keys move (the rest have no
+        observable state). Mirrors ``migrate_slots``: cutover flips the
+        owner, the handoff writes the freshest copy into the new
+        window (hinting shards that are down or donor-less, exactly
+        like a write they missed), and out-of-window leftovers are
+        pruned. Returns the number of slots moved.
+        """
+        with self._lock:
+            src = index % self.nshards
+            dst = (src + 1) % self.nshards
+            if dst == src:
+                return 0  # single shard: nowhere to move
+            owned = sorted({key_slot(k) for k in self.acked
+                            if self._owner(key_slot(k)) == src})
+            moving = set(owned[::2])
+            if not moving:
+                return 0
+            keys = [k for k in sorted(self.acked) if key_slot(k) in moving]
+            # Cutover before the handoff: any write that lands mid-move
+            # already routes to the new window, so the versioned copy
+            # below can never overtake it.
+            for s in moving:
+                if dst == s % self.nshards:
+                    self._slot_owner.pop(s, None)
+                else:
+                    self._slot_owner[s] = dst
+            for key in keys:
+                best: Optional[_Entry] = None
+                for j in range(self.nshards):
+                    if self._down[j] or key in self._pending[j]:
+                        continue
+                    entry = self._shards[j].get(key)
+                    if entry is not None and (best is None or entry[0] > best[0]):
+                        best = entry
+                if best is None and self.acked.get(key) is None:
+                    continue  # deleted and GC'd: nothing observable moves
+                new_window = self._replicas(key)
+                for j in new_window:
+                    if self._down[j]:
+                        self._pending[j].add(key)
+                        continue
+                    held = self._shards[j].get(key)
+                    if best is not None and (held is None or held[0] < best[0]):
+                        self._store_entry(j, key, best)
+                    elif best is None and held is None:
+                        # No healthy donor right now: the shard must not
+                        # answer NF for a key an acked write created.
+                        self._pending[j].add(key)
+                for j in range(self.nshards):
+                    if j in new_window:
+                        continue
+                    # Hints are client-side metadata: an out-of-window
+                    # shard will never serve the key, so its hint (and,
+                    # when reachable, its copy) can go.
+                    self._pending[j].discard(key)
+                    if not self._down[j] and key in self._shards[j]:
+                        self._drop_entry(j, key)
+            self.transport_stats.note_migration(len(moving), len(keys))
+            self._repair_all()
+            return len(moving)
+
     def heal_all(self) -> None:
         """Revive every shard and run anti-entropy to convergence."""
         with self._lock:
@@ -258,13 +376,19 @@ class ChaosStore(DataStore):
             self._repair_all()
 
     def _repair_all(self) -> None:
-        """Drain hinted handoffs wherever a healthy donor exists."""
+        """Drain hinted handoffs wherever a healthy donor exists.
+
+        A donor can be *any* healthy, current shard still holding the
+        key — not just a window member: after a reshard the freshest
+        copy may sit on an old-window shard, and after a crash-restart
+        an out-of-window leftover is still a valid anti-entropy source.
+        """
         for i in range(self.nshards):
             if self._down[i]:
                 continue
             for key in sorted(self._pending[i]):
                 donors = [
-                    j for j in self._replicas(key)
+                    j for j in range(self.nshards)
                     if j != i and not self._down[j] and key not in self._pending[j]
                 ]
                 best: Optional[_Entry] = None
@@ -273,17 +397,22 @@ class ChaosStore(DataStore):
                     if entry is not None and (best is None or entry[0] > best[0]):
                         best = entry
                 if best is not None:
-                    self._shards[i][key] = best
-                    self._pending[i].discard(key)
+                    self._store_entry(i, key, best)
+                    # An out-of-window leftover can be older than the
+                    # acked version; installing it is fine (versions
+                    # order reads) but only a fresh-enough copy makes
+                    # the shard current again.
+                    if best[0] >= self._acked_ver.get(key, best[0]):
+                        self._pending[i].discard(key)
                     self.transport_stats.note_read_repair()
         if not any(self._down) and not any(self._pending):
             self._gc_tombstones()
 
     def _gc_tombstones(self) -> None:
         """Drop tombstones — only safe once every replica has seen them."""
-        for shard in self._shards:
+        for i, shard in enumerate(self._shards):
             for key in [k for k, (_, payload) in shard.items() if payload is None]:
-                del shard[key]
+                self._drop_entry(i, key)
 
     # --- invariant hooks ------------------------------------------------------
 
@@ -314,6 +443,31 @@ class ChaosStore(DataStore):
                     problems.append(f"stale read (not the acked value): {key}")
         return problems
 
+    def verify_durable(self) -> List[str]:
+        """Check every shard holds at least what its durable log replays.
+
+        The crash-consistency contract: a shard acks only after its WAL
+        has the record, so after any number of crash-restarts the shard
+        must hold every logged entry at no older a version. Returns
+        problem strings (empty for a memory-only store, which promises
+        nothing).
+        """
+        problems: List[str] = []
+        with self._lock:
+            if not self.durable:
+                return problems
+            for i in range(self.nshards):
+                for key in sorted(self._log[i]):
+                    logged = self._log[i][key]
+                    held = self._shards[i].get(key)
+                    if held is None:
+                        problems.append(
+                            f"durable log entry missing from shard {i}: {key}")
+                    elif held[0] < logged[0]:
+                        problems.append(
+                            f"shard {i} older than its durable log: {key}")
+        return problems
+
     def replica_health(self) -> Dict[str, object]:
         with self._lock:
             return {
@@ -321,6 +475,7 @@ class ChaosStore(DataStore):
                 "nshards": self.nshards,
                 "up": sum(1 for d in self._down if not d),
                 "pending_repairs": sum(len(p) for p in self._pending),
+                "slot_overrides": len(self._slot_owner),
                 "shards": [
                     {"address": f"chaos://shard{i}", "up": not self._down[i]}
                     for i in range(self.nshards)

@@ -108,12 +108,31 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--health", metavar="URL",
                        help="probe a netkv:// cluster URL and print "
                             "per-replica health (exit 1 if any shard is down)")
+    group.add_argument("--snapshot", metavar="URL",
+                       help="ask every shard of a netkv:// cluster to write "
+                            "a snapshot and compact its WAL (shards must "
+                            "have been served with --persist)")
+    group.add_argument("--migrate", metavar="URL",
+                       help="move hash slots between shards of a live "
+                            "netkv:// cluster (requires --slots and --to)")
     p_netkv.add_argument("--host", default="127.0.0.1",
                          help="bind address for --serve")
     p_netkv.add_argument("--max-conns", type=int, default=None,
                          help="per-shard concurrent-connection cap for "
                               "--serve (default: unlimited; see "
                               "OPERATIONS.md on fd budgeting)")
+    p_netkv.add_argument("--persist", metavar="DIR", default=None,
+                         help="durable shard state for --serve: one "
+                              "WAL+snapshot subdirectory per shard under "
+                              "DIR; a restart replays every acked write")
+    p_netkv.add_argument("--no-fsync", action="store_true",
+                         help="with --persist: skip the fsync batch on ack "
+                              "(faster; drops the power-failure guarantee)")
+    p_netkv.add_argument("--slots", metavar="A-B", default=None,
+                         help="hash-slot range for --migrate, e.g. 0-4095 "
+                              "(a single slot is just 'N')")
+    p_netkv.add_argument("--to", dest="to_shard", type=int, default=None,
+                         help="destination shard index for --migrate")
 
     p_chaos = sub.add_parser("chaos", help="seeded chaos campaigns with invariant checks")
     p_chaos.add_argument("--seed", type=int, default=0)
@@ -289,8 +308,22 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_slot_range(spec: str):
+    """'A-B' (inclusive) or a single 'N' as a range of hash slots."""
+    lo, sep, hi = spec.partition("-")
+    try:
+        a = int(lo)
+        b = int(hi) if sep else a
+    except ValueError:
+        raise ValueError(f"bad slot range {spec!r}; expected A-B or N") from None
+    if b < a:
+        raise ValueError(f"bad slot range {spec!r}: end before start")
+    return range(a, b + 1)
+
+
 def _cmd_netkv(args) -> int:
     if args.serve is not None:
+        import os
         import threading
 
         from repro.datastore.netkv import NetKVServer
@@ -302,15 +335,30 @@ def _cmd_netkv(args) -> int:
             print("--max-conns must be >= 1", file=sys.stderr)
             return 2
         servers = []
-        for _ in range(args.serve):
-            server = NetKVServer(host=args.host)
-            server.max_connections = args.max_conns
+        for i in range(args.serve):
+            if args.persist:
+                from repro.datastore.aio import AsyncNetKVServer
+                from repro.datastore.wal import DurabilityConfig
+
+                server = AsyncNetKVServer(
+                    host=args.host,
+                    max_connections=args.max_conns,
+                    persist_dir=os.path.join(args.persist, f"shard{i}"),
+                    durability=DurabilityConfig(fsync=not args.no_fsync),
+                )
+            else:
+                server = NetKVServer(host=args.host)
+                server.max_connections = args.max_conns
             servers.append(server.start())
         url = "netkv://" + ",".join(f"{h}:{p}" for h, p in
                                     (s.address for s in servers))
         cap = "unlimited" if args.max_conns is None else str(args.max_conns)
         print(f"serving {args.serve} shard(s): {url} "
               f"(max {cap} connections/shard)")
+        if args.persist:
+            recovered = sum(len(s.wal.recovered) for s in servers)
+            print(f"durable state under {args.persist} "
+                  f"({recovered} key(s) recovered)")
         print("press Ctrl-C to stop")
         try:
             threading.Event().wait()
@@ -326,6 +374,61 @@ def _cmd_netkv(args) -> int:
         return 0
 
     from repro.datastore.base import StoreError, open_store
+
+    if args.snapshot is not None:
+        try:
+            store = open_store(args.snapshot)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            infos = store.snapshot_all()
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            store.close()
+        for i, info in enumerate(infos):
+            print(f"  shard {i}: {info.get('keys', '?')} key(s), "
+                  f"wal {info.get('wal_bytes', 0)} B, "
+                  f"{info.get('snapshots', 0)} snapshot(s)")
+        print(f"snapshotted {len(infos)} shard(s)")
+        return 0
+
+    if args.migrate is not None:
+        if args.slots is None or args.to_shard is None:
+            print("--migrate requires --slots and --to", file=sys.stderr)
+            return 2
+        if "replication=" not in args.migrate:
+            # Migration computes its copy and cleanup windows from the
+            # replication factor; running with a silently defaulted
+            # replication=1 against a replicated keyspace prunes live
+            # replica copies. Make the operator state it.
+            print("--migrate requires an explicit ?replication=N on the "
+                  "URL (use the same value the cluster's writers use)",
+                  file=sys.stderr)
+            return 2
+        try:
+            slots = _parse_slot_range(args.slots)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            store = open_store(args.migrate)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            result = store.migrate_slots(slots, args.to_shard)
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            store.close()
+        print(f"moved {result['slots']} slot(s) "
+              f"({result['keys_moved']} key(s)) to shard {args.to_shard}; "
+              f"routing epoch {result['epoch']}")
+        return 0
 
     try:
         store = open_store(args.health)

@@ -38,6 +38,7 @@ from repro.core.campaign import CampaignConfig, RunSpec
 from repro.core.jobs import JobTypeConfig
 from repro.core.wm import WorkflowConfig
 from repro.datastore.netkv import TransportConfig
+from repro.datastore.wal import DurabilityConfig
 
 __all__ = [
     "ConfigError",
@@ -46,6 +47,7 @@ __all__ = [
     "workflow_config",
     "campaign_config",
     "transport_config",
+    "durability_config",
     "application_kwargs",
     "job_types",
 ]
@@ -122,6 +124,20 @@ def transport_config(doc: Mapping[str, Any]) -> TransportConfig:
     """
     return dataclass_from_mapping(TransportConfig, doc.get("transport", {}),
                                   "[transport]")
+
+
+def durability_config(doc: Mapping[str, Any]) -> DurabilityConfig:
+    """The ``[durability]`` section (or {}) as a DurabilityConfig.
+
+    Governs the persistent shards' write-ahead log and the FSStore
+    fsync armoring::
+
+        [durability]
+        fsync = true
+        compact_bytes = 8388608
+    """
+    return dataclass_from_mapping(DurabilityConfig, doc.get("durability", {}),
+                                  "[durability]")
 
 
 def campaign_config(doc: Mapping[str, Any]) -> CampaignConfig:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import json
 import random
 import socket
 import threading
@@ -45,6 +46,7 @@ from repro import trace
 from repro.datastore.base import KeyNotFound, StoreError, StoreUnavailable
 from repro.datastore.kvstore import KVServer
 from repro.datastore.stats import TransportStats
+from repro.datastore.wal import DurabilityConfig, ShardWAL
 
 __all__ = [
     "WireProtocolError",
@@ -433,39 +435,83 @@ def _payload_length(cmd: str, args: List[str], max_payload: int) -> Tuple[int, L
     return length, args[:-1]
 
 
+# Commands whose responses must wait on the WAL group commit before
+# they reach the wire (ack-after-fsync). GET-family commands are absent:
+# a read-only burst never waits on another connection's fsync.
+_MUTATING = frozenset({"SET", "DEL", "RENAME", "MSET", "MSETNX", "MDEL",
+                       "FLUSH"})
+
+
 def _dispatch(server: "AsyncNetKVServer", cmd: str, args: List[str],
               payload: bytes) -> Optional[bytes]:
     store = server.backend
+    wal = server.wal
     with server.lock:
         if cmd == "PING":
             return b"PONG"
         if cmd == "SET":
-            store.set(_check_wire_key(args[0]), payload)
+            key = _check_wire_key(args[0])
+            store.set(key, payload)
+            if wal is not None:
+                wal.append_set(key, payload)
             return b""
         if cmd == "GET":
             return store.get(args[0])
         if cmd == "DEL":
             store.delete(args[0])
+            if wal is not None:
+                # Deletes are logged too: a replayed shard must not
+                # resurrect a key whose removal was acked.
+                wal.append_delete(args[0])
             return b""
         if cmd == "KEYS":
             prefix = args[0] if args else ""
             return "\x00".join(sorted(store.scan(prefix))).encode("utf-8")
         if cmd == "RENAME":
-            store.rename(args[0], _check_wire_key(args[1]))
+            dst = _check_wire_key(args[1])
+            store.rename(args[0], dst)
+            if wal is not None:
+                wal.append_rename(args[0], dst)
             return b""
         if cmd == "MGET":
             return _pack_values(store.mget(_split_key_payload(payload)))
         if cmd == "MSET":
-            n = store.mset(_unpack_items(payload, server.max_payload))
+            items = _unpack_items(payload, server.max_payload)
+            n = store.mset(items)
+            if wal is not None:
+                for key, value in items:
+                    wal.append_set(key, value)
             return str(n).encode("utf-8")
+        if cmd == "MSETNX":
+            items = _unpack_items(payload, server.max_payload)
+            flags = store.msetnx(items)
+            if wal is not None:
+                for (key, value), stored in zip(items, flags):
+                    if stored:
+                        wal.append_set(key, value)
+            return b"".join(b"1" if f else b"0" for f in flags)
         if cmd == "MDEL":
-            flags = store.mdelete(_split_key_payload(payload))
+            keys = _split_key_payload(payload)
+            flags = store.mdelete(keys)
+            if wal is not None:
+                for key, existed in zip(keys, flags):
+                    if existed:
+                        wal.append_delete(key)
             return b"".join(b"1" if f else b"0" for f in flags)
         if cmd == "LEN":
             return str(len(store)).encode("utf-8")
         if cmd == "FLUSH":
             store.flush()
+            if wal is not None:
+                wal.append_flush()
             return b""
+        if cmd == "SNAPSHOT":
+            if wal is None:
+                raise StoreError("shard has no persistence configured")
+            snap = wal.snapshot(store.items())
+            out = wal.info()
+            out["keys"] = snap["keys"]
+            return json.dumps(out, sort_keys=True).encode("utf-8")
         if cmd == "SHUTDOWN":
             threading.Thread(target=server.stop, daemon=True).start()
             return None
@@ -519,9 +565,18 @@ class _ServerConnection(_BufferedProtocol):
         # of one per response.
         out: List[bytes] = []
         out_bytes = 0
+        wal = owner.wal
+        # Highest WAL sequence this connection's unsent responses depend
+        # on. Flushing awaits the group commit up to exactly that point,
+        # so read-only bursts (and connections that didn't mutate) never
+        # wait on someone else's fsync.
+        wal_need = 0
 
-        def flush() -> None:
-            nonlocal out_bytes
+        async def flush() -> None:
+            nonlocal out_bytes, wal_need
+            if wal is not None and wal_need > wal.synced_seq:
+                await wal.commit(wal_need)
+            wal_need = 0
             if out:
                 transport.writelines(out)
                 out.clear()
@@ -539,17 +594,17 @@ class _ServerConnection(_BufferedProtocol):
                 try:
                     header = self.buf.take_line()
                     if header is None:
-                        flush()  # the burst is fully answered; park
+                        await flush()  # the burst is fully answered; park
                         header = await self.read_line()
                 except ConnectionError:
                     return  # client went away
                 except WireProtocolError as exc:
-                    flush()
+                    await flush()
                     self._err_close(str(exc))
                     return
                 if not header:
                     # A blank line cannot start a request.
-                    flush()
+                    await flush()
                     self._err_close("empty header")
                     return
                 fate = injector.request_fate() if injector is not None else None
@@ -560,20 +615,20 @@ class _ServerConnection(_BufferedProtocol):
                     # thread — an await inside one would interleave other
                     # connections' spans into its subtree.
                     seconds = injector.delay_duration()
-                    flush()
+                    await flush()
                     await asyncio.sleep(seconds)
                 elif fate == "close":
                     with trace.span("netkv.handle") as sp:
                         if sp:
                             sp.event("fault", fate="close")
-                    flush()
+                    await flush()
                     transport.close()
                     return
                 elif fate == "garbage":
                     with trace.span("netkv.handle") as sp:
                         if sp:
                             sp.event("fault", fate="garbage")
-                    flush()
+                    await flush()
                     try:
                         transport.write(injector.garbage_payload())
                     except Exception:
@@ -588,18 +643,18 @@ class _ServerConnection(_BufferedProtocol):
                 cmd, args = parts[0].upper(), parts[1:]
                 payload = b""
                 try:
-                    if cmd in ("SET", "MGET", "MSET", "MDEL"):
+                    if cmd in ("SET", "MGET", "MSET", "MSETNX", "MDEL"):
                         length, args = _payload_length(cmd, args, owner.max_payload)
                         body = self.buf.take_exact(length)
                         if body is None:
-                            flush()
+                            await flush()
                             body = await self.read_exact(length)
                         payload = body
                 except WireProtocolError as exc:
                     # Framing is broken (bad length field, oversized
                     # payload): the bytes that follow cannot be trusted
                     # as a header.
-                    flush()
+                    await flush()
                     self._err_close(str(exc))
                     return
                 except ConnectionError:
@@ -619,7 +674,7 @@ class _ServerConnection(_BufferedProtocol):
                         out_bytes += 3
                         continue
                     except WireProtocolError as exc:
-                        flush()
+                        await flush()
                         self._err_close(str(exc))
                         return
                     except Exception as exc:  # application errors → ERR frames
@@ -628,15 +683,22 @@ class _ServerConnection(_BufferedProtocol):
                         out_bytes += len(out[-1])
                         continue
                     if response is None:
-                        flush()
+                        await flush()
                         transport.close()
                         return  # SHUTDOWN
                     hdr = b"OK %d\n" % len(response)
                     out.append(hdr)
                     out.append(response)
                     out_bytes += len(hdr) + len(response)
+                    if wal is not None and cmd in _MUTATING:
+                        # The burst's responses now depend on the log
+                        # up to here; flush() will group-commit first.
+                        wal_need = wal.seq
+                        if wal.needs_compaction():
+                            with owner.lock:
+                                wal.snapshot(owner.backend.items())
                     if out_bytes >= _FLUSH_BYTES:
-                        flush()
+                        await flush()
         except asyncio.CancelledError:
             raise
         except Exception:
@@ -667,8 +729,17 @@ class AsyncNetKVServer:
                  fault_injector=None,
                  max_payload: int = 256 * 1024 * 1024,
                  max_connections: Optional[int] = None,
-                 backlog: int = 4096) -> None:
+                 backlog: int = 4096,
+                 persist_dir: Optional[str] = None,
+                 durability: Optional[DurabilityConfig] = None) -> None:
         self.backend = KVServer()
+        self.wal: Optional[ShardWAL] = None
+        if persist_dir is not None:
+            # Recovery happens here, before the port accepts anything:
+            # snapshot load + WAL replay (torn tail truncated), so the
+            # first request already sees every previously acked write.
+            self.wal = ShardWAL(persist_dir, durability)
+            self.backend._data.update(self.wal.recovered)
         self.lock = threading.Lock()
         self.fault_injector = fault_injector
         self.max_payload = max_payload
@@ -744,12 +815,19 @@ class AsyncNetKVServer:
                 self._listen_sock.close()
             except OSError:
                 pass
+            if self.wal is not None:
+                self.wal.close()
             return
         try:
             lt.run(self._shutdown(join_timeout), timeout=join_timeout + 5.0)
         except Exception:
             pass
         lt.stop(join_timeout)
+        if self.wal is not None:
+            # The loop is down; one last synchronous flush catches
+            # records whose group commit hadn't fired yet (their
+            # responses were never sent, but replaying them is free).
+            self.wal.close()
 
     async def _shutdown(self, join_timeout: float) -> None:
         if self._aserver is not None:
@@ -1020,6 +1098,17 @@ class AsyncClientChannel:
                 raise WireProtocolError(f"malformed MDEL response: {raw[:64]!r}")
             self.stats.note_batch(nkeys)
             return [b == 0x31 for b in raw]
+        if kind == "MSETNX":
+            payload, nitems = arg
+            raw = await self._roundtrip(f"MSETNX {len(payload)}", payload)
+            if len(raw) != nitems or raw.strip(b"01"):
+                raise WireProtocolError(
+                    f"malformed MSETNX response: {raw[:64]!r}")
+            self.stats.note_batch(nitems)
+            return [b == 0x31 for b in raw]
+        if kind == "SNAPSHOT":
+            raw = await self._roundtrip("SNAPSHOT")
+            return json.loads(raw.decode("utf-8"))
         raise StoreError(f"unknown channel op {kind!r}")
 
     async def _run_fold(self, kind: str, run: List[_Op]) -> None:
@@ -1198,6 +1287,17 @@ class AsyncClientChannel:
             return []
         payload = "\x00".join(_check_wire_key(k) for k in keys).encode("utf-8")
         return self._submit("MDEL", (payload, len(keys)))
+
+    def msetnx(self, items: List[Tuple[str, bytes]]) -> List[bool]:
+        """Set each pair only where the key is absent; per-key flags say
+        which were stored (the migration copier's no-overwrite write)."""
+        if not items:
+            return []
+        return self._submit("MSETNX", (_pack_items(items), len(items)))
+
+    def snapshot(self) -> dict:
+        """Ask the shard to write a snapshot and compact its WAL."""
+        return self._submit("SNAPSHOT")
 
     def __len__(self) -> int:
         return self._submit("LEN")

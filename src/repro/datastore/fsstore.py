@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.datastore.base import DataStore, KeyNotFound, StoreError, validate_key
+from repro.datastore.wal import fsync_dir
 from repro.util.armor import RetryPolicy, armored_call
 
 __all__ = ["FSStore", "FaultInjector"]
@@ -66,6 +67,15 @@ class FSStore(DataStore):
     backup_writes:
         Keep a ``.bak`` copy of the previous value on overwrite
         (checkpoint armoring). Off by default: bulk data doesn't need it.
+    fsync:
+        Fsync the temp file before the rename and the parent directory
+        after it, so an acked write survives a machine crash — without
+        this, ``os.replace`` is only atomic against process crashes:
+        the data can still sit in the page cache when power fails, and
+        the rename itself can be lost if the directory entry was never
+        flushed. Off by default (matches the historical behavior and
+        the bulk-data path); the ``[durability]`` config section turns
+        it on for checkpoint-grade stores.
     """
 
     def __init__(
@@ -74,12 +84,14 @@ class FSStore(DataStore):
         policy: Optional[RetryPolicy] = None,
         fault_injector: Optional[Callable[[str, str], None]] = None,
         backup_writes: bool = False,
+        fsync: bool = False,
     ) -> None:
         self.root = os.path.abspath(root)
         os.makedirs(self.root, exist_ok=True)
         self.policy = policy or RetryPolicy(retries=3)
         self.fault_injector = fault_injector
         self.backup_writes = backup_writes
+        self.fsync = fsync
         self.retries = 0  # armoring retry counter, for profiling
 
     # --- internals --------------------------------------------------------
@@ -110,7 +122,14 @@ class FSStore(DataStore):
             tmp = path + ".tmp"
             with open(tmp, "wb") as fh:
                 fh.write(data)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
+            if self.fsync:
+                # The rename is only durable once the directory entry
+                # is on disk; fsync the parent like the WAL does.
+                fsync_dir(os.path.dirname(path))
 
         self._armored("write", key, do_write)
 

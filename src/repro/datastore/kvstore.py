@@ -161,6 +161,21 @@ class KVServer:
             self._data[key] = value
         return len(items)
 
+    def msetnx(self, items: List[Tuple[str, bytes]]) -> List[bool]:
+        """Set each pair only where the key is absent; per-key flags say
+        which were stored. The slot-migration copier leans on this so a
+        source-side copy can never overwrite a fresher value that was
+        dual-written to the destination mid-copy."""
+        flags = []
+        for key, value in items:
+            if key in self._data:
+                flags.append(False)
+            else:
+                self.counters.set += 1
+                self._data[key] = value
+                flags.append(True)
+        return flags
+
     def mdelete(self, keys: List[str]) -> List[bool]:
         """Delete ``keys``; per-key flags say which actually existed
         (a replicated caller ORs the flags across copies)."""
@@ -169,6 +184,11 @@ class KVServer:
 
     def flush(self) -> None:
         self._data.clear()
+
+    def items(self) -> List[Tuple[str, bytes]]:
+        """A stable copy of the key space (snapshot writers iterate it
+        outside any lock the caller holds while taking the copy)."""
+        return list(self._data.items())
 
     def memory_bytes(self) -> int:
         return sum(len(v) for v in self._data.values())

@@ -58,6 +58,7 @@ availability bottleneck):
 from __future__ import annotations
 
 import dataclasses
+import json
 import socket
 import socketserver
 import threading
@@ -87,7 +88,7 @@ from repro.datastore.aio import (
     _unpack_items,
     _unpack_values,
 )
-from repro.datastore.kvstore import KVServer, key_slot
+from repro.datastore.kvstore import _HASH_SLOTS, KVServer, key_slot
 from repro.datastore.stats import TransportStats
 from repro.util.faults import NetworkFaultInjector
 
@@ -292,7 +293,7 @@ class _Handler(socketserver.BaseRequestHandler):
                     sp.set(cmd=cmd)
                 try:
                     payload = b""
-                    if cmd in ("SET", "MGET", "MSET", "MDEL"):
+                    if cmd in ("SET", "MGET", "MSET", "MSETNX", "MDEL"):
                         payload, args = self._read_payload(buf, cmd, args, server)
                     response = self._dispatch(server, cmd, args, payload)
                 except KeyNotFound:
@@ -363,11 +364,18 @@ class _Handler(socketserver.BaseRequestHandler):
             if cmd == "MSET":
                 n = store.mset(_unpack_items(payload, server.max_payload))
                 return str(n).encode("utf-8")
+            if cmd == "MSETNX":
+                flags = store.msetnx(_unpack_items(payload, server.max_payload))
+                return b"".join(b"1" if f else b"0" for f in flags)
             if cmd == "MDEL":
                 flags = store.mdelete(_split_key_payload(payload))
                 return b"".join(b"1" if f else b"0" for f in flags)
             if cmd == "LEN":
                 return str(len(store)).encode("utf-8")
+            if cmd == "SNAPSHOT":
+                # Only the event-loop server carries a WAL; the threaded
+                # baseline answers honestly instead of pretending.
+                raise StoreError("shard has no persistence configured")
             if cmd == "FLUSH":
                 store.flush()
                 return b""
@@ -683,6 +691,18 @@ class NetKVClient:
         self.stats.note_batch(len(items))
         return n
 
+    def msetnx(self, items: List[Tuple[str, bytes]]) -> List[bool]:
+        """Set each pair only where the key is absent; per-key flags say
+        which were stored (the migration copier's no-overwrite write)."""
+        if not items:
+            return []
+        payload = _pack_items(items)
+        raw = self._roundtrip(f"MSETNX {len(payload)}", payload)
+        if len(raw) != len(items) or raw.strip(b"01"):
+            raise WireProtocolError(f"malformed MSETNX response: {raw[:64]!r}")
+        self.stats.note_batch(len(items))
+        return [b == 0x31 for b in raw]
+
     def mdelete(self, keys: List[str]) -> List[bool]:
         """Delete ``keys``; per-key flags say which existed."""
         if not keys:
@@ -693,6 +713,11 @@ class NetKVClient:
             raise WireProtocolError(f"malformed MDEL response: {raw[:64]!r}")
         self.stats.note_batch(len(keys))
         return [b == 0x31 for b in raw]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Ask the shard to write a snapshot and compact its WAL;
+        returns the shard's persistence counters."""
+        return json.loads(self._roundtrip("SNAPSHOT").decode("utf-8"))
 
     def __len__(self) -> int:
         return int(self._roundtrip("LEN"))
@@ -892,6 +917,15 @@ class NetKVCluster:
         self._repairing = False
         self._repair_gate = threading.Lock()
         self._tombstones = False
+        # Slot routing: by default slot s lives on shard s % n; a
+        # finished migration records an override. While a slot is in
+        # ``_migrating`` writes go to both windows and reads try the
+        # destination first. ``_routing_epoch`` bumps on every placement
+        # change so operators (and tests) can observe cutovers.
+        self._route_lock = threading.Lock()
+        self._slot_owner: Dict[int, int] = {}
+        self._migrating: Dict[int, int] = {}
+        self._routing_epoch = 0
         self._now = time.monotonic  # swappable in tests
         # Dedicated single-connection clients, one per shard: kept for
         # introspection (len(), direct shard access) and older callers.
@@ -915,14 +949,39 @@ class NetKVCluster:
 
     # --- placement and health --------------------------------------------
 
-    def _replicas_for(self, key: str) -> List[int]:
+    def _primary_for_slot(self, slot: int) -> int:
+        """Owning shard of a hash slot (caller holds ``_route_lock``)."""
+        return self._slot_owner.get(slot, slot % len(self._pools))
+
+    def _window(self, primary: int) -> List[int]:
         n = len(self._pools)
-        primary = key_slot(key) % n
         return [(primary + r) % n for r in range(self.replication)]
+
+    def _replicas_for(self, key: str) -> List[int]:
+        with self._route_lock:
+            primary = self._primary_for_slot(key_slot(key))
+        return self._window(primary)
+
+    def _placement(self, key: str) -> Tuple[List[int], Optional[List[int]]]:
+        """(current replica window, migration-target window or None)."""
+        slot = key_slot(key)
+        with self._route_lock:
+            primary = self._primary_for_slot(slot)
+            dst = self._migrating.get(slot)
+        window = self._window(primary)
+        if dst is None or dst == primary:
+            return window, None
+        return window, self._window(dst)
+
+    def _migrating_slots(self) -> Optional[Dict[int, int]]:
+        """Snapshot of in-flight migrations, or None (the common case,
+        so batch routing pays one lock acquire and no copies)."""
+        with self._route_lock:
+            return dict(self._migrating) if self._migrating else None
 
     def client_for(self, key: str) -> NetKVClient:
         """Legacy accessor: the dedicated client of a key's primary shard."""
-        return self.clients[key_slot(key) % len(self.clients)]
+        return self.clients[self._replicas_for(key)[0]]
 
     def _split_health(self, shards: List[int]) -> Tuple[List[int], List[int], List[int]]:
         """Partition shards into (up, probe-eligible, cooling-down).
@@ -1008,7 +1067,22 @@ class NetKVCluster:
 
     def set(self, key: str, value: bytes) -> None:
         self._maybe_repair()
-        replicas = self._replicas_for(key)
+        window, target = self._placement(key)
+        if target is None:
+            self._set_window(key, value, window)
+            return
+        # Dual-write while the slot migrates: the destination window is
+        # what survives cutover, so its ack is the one that counts; the
+        # source write keeps double-reads fresh and is best-effort.
+        self._set_window(key, value, target)
+        self.stats.note_dual_write()
+        try:
+            self._set_window(key, value, window)
+        except StoreUnavailable:
+            pass
+
+    def _set_window(self, key: str, value: bytes,
+                    replicas: List[int]) -> None:
         up, probe, rest = self._split_health(replicas)
         acked: List[int] = []
         last_exc: Optional[BaseException] = None
@@ -1038,7 +1112,27 @@ class NetKVCluster:
 
     def get(self, key: str) -> bytes:
         self._maybe_repair()
-        replicas = self._replicas_for(key)
+        window, target = self._placement(key)
+        if target is None:
+            return self._get_window(key, window)
+        # Double-read while the slot migrates: the destination window
+        # has every write made since migration began; the source still
+        # holds the not-yet-copied past. NF only once both say NF.
+        first: Optional[BaseException] = None
+        try:
+            return self._get_window(key, target)
+        except (KeyNotFound, StoreUnavailable) as exc:
+            first = exc
+        try:
+            return self._get_window(key, window)
+        except KeyNotFound:
+            if isinstance(first, StoreUnavailable):
+                # The source proves absence of old data, but a write
+                # acked by the unreachable destination could exist.
+                raise first
+            raise
+
+    def _get_window(self, key: str, replicas: List[int]) -> bytes:
         up, probe, rest = self._split_health(replicas)
         attempted: List[int] = []
         nf: List[int] = []
@@ -1086,7 +1180,18 @@ class NetKVCluster:
 
     def delete(self, key: str) -> None:
         self._maybe_repair()
-        replicas = self._replicas_for(key)
+        window, target = self._placement(key)
+        if target is None:
+            self._delete_window(key, window)
+            return
+        # Delete from both windows; the forced tombstone also stops the
+        # migration copier from resurrecting this key out of a source
+        # read that predates the delete.
+        replicas = list(dict.fromkeys(target + window))
+        self._delete_window(key, replicas, force_tombstone=True)
+
+    def _delete_window(self, key: str, replicas: List[int],
+                       force_tombstone: bool = False) -> None:
         up, probe, rest = self._split_health(replicas)
         reached: List[int] = []
         found = False
@@ -1115,7 +1220,7 @@ class NetKVCluster:
             raise StoreUnavailable(
                 f"all {len(replicas)} replica(s) for {key!r} are unavailable"
             ) from last_exc
-        if len(reached) < len(replicas):
+        if force_tombstone or len(reached) < len(replicas):
             self._write_tombstones([key], reached)
         if not found:
             raise KeyNotFound(key)
@@ -1222,12 +1327,25 @@ class NetKVCluster:
 
     # --- pipelined batch operations --------------------------------------
 
-    def _group_positions(self, keys: List[str]) -> Dict[int, List[int]]:
-        """Key positions grouped by primary shard (batch routing)."""
+    def _group_positions(self, keys: List[str],
+                         skip: Optional[Dict[int, int]] = None
+                         ) -> Dict[int, List[int]]:
+        """Key positions grouped by primary shard (batch routing).
+
+        Keys whose slot appears in ``skip`` (in-flight migrations) are
+        left out — the caller routes them through the single-key path,
+        which knows how to dual-write and double-read.
+        """
         n = len(self._pools)
+        with self._route_lock:
+            owner = dict(self._slot_owner) if self._slot_owner else None
         groups: Dict[int, List[int]] = {}
         for i, k in enumerate(keys):
-            groups.setdefault(key_slot(k) % n, []).append(i)
+            slot = key_slot(k)
+            if skip is not None and slot in skip:
+                continue
+            primary = owner.get(slot, slot % n) if owner else slot % n
+            groups.setdefault(primary, []).append(i)
         return groups
 
     def mget(self, keys: List[str]) -> List[Optional[bytes]]:
@@ -1237,11 +1355,20 @@ class NetKVCluster:
         self._maybe_repair()
         keys = list(keys)
         out: List[Optional[bytes]] = [None] * len(keys)
-        n = len(self._pools)
-        for primary, positions in sorted(self._group_positions(keys).items()):
-            replicas = [(primary + r) % n for r in range(self.replication)]
+        migrating = self._migrating_slots()
+        for primary, positions in sorted(
+                self._group_positions(keys, migrating).items()):
+            replicas = self._window(primary)
             for chunk in _chunks(positions, self.config.batch_keys):
                 self._mget_chunk(keys, chunk, replicas, out)
+        if migrating:
+            # Keys mid-migration take the double-reading single-key path.
+            for i, k in enumerate(keys):
+                if key_slot(k) in migrating:
+                    try:
+                        out[i] = self.get(k)
+                    except KeyNotFound:
+                        out[i] = None
         return out
 
     def _mget_chunk(self, keys: List[str], positions: List[int],
@@ -1311,13 +1438,24 @@ class NetKVCluster:
         self._maybe_repair()
         items = list(items)
         n = len(self._pools)
+        migrating = self._migrating_slots()
+        with self._route_lock:
+            owner = dict(self._slot_owner) if self._slot_owner else None
         groups: Dict[int, List[Tuple[str, bytes]]] = {}
+        detour: List[Tuple[str, bytes]] = []
         for k, v in items:
-            groups.setdefault(key_slot(k) % n, []).append((k, v))
+            slot = key_slot(k)
+            if migrating is not None and slot in migrating:
+                detour.append((k, v))
+                continue
+            primary = owner.get(slot, slot % n) if owner else slot % n
+            groups.setdefault(primary, []).append((k, v))
         for primary, group in sorted(groups.items()):
-            replicas = [(primary + r) % n for r in range(self.replication)]
+            replicas = self._window(primary)
             for chunk in _chunks(group, self.config.batch_keys):
                 self._mset_chunk(chunk, replicas)
+        for k, v in detour:
+            self.set(k, v)  # dual-writes while the slot migrates
 
     def _mset_chunk(self, chunk: List[Tuple[str, bytes]],
                     replicas: List[int]) -> None:
@@ -1355,11 +1493,20 @@ class NetKVCluster:
         self._maybe_repair()
         keys = list(keys)
         flags = [False] * len(keys)
-        n = len(self._pools)
-        for primary, positions in sorted(self._group_positions(keys).items()):
-            replicas = [(primary + r) % n for r in range(self.replication)]
+        migrating = self._migrating_slots()
+        for primary, positions in sorted(
+                self._group_positions(keys, migrating).items()):
+            replicas = self._window(primary)
             for chunk in _chunks(positions, self.config.batch_keys):
                 self._mdel_chunk(keys, chunk, replicas, flags)
+        if migrating:
+            for i, k in enumerate(keys):
+                if key_slot(k) in migrating:
+                    try:
+                        self.delete(k)  # both windows + copier tombstone
+                        flags[i] = True
+                    except KeyNotFound:
+                        flags[i] = False
         return flags
 
     def _mdel_chunk(self, keys: List[str], positions: List[int],
@@ -1527,10 +1674,29 @@ class NetKVCluster:
                             copied += len(items)
                     except StoreError:
                         break
+            # 4) prune foreign copies: keys whose slot migrated away
+            # while s was down, so s missed the post-cutover cleanup.
+            # Keys of a slot still mid-migration are left alone — the
+            # source window is live routing state until cutover.
+            foreign: List[str] = []
+            with self._route_lock:
+                overrides = bool(self._slot_owner)
+                migrating = set(self._migrating)
+            if overrides:
+                foreign = [k for k in skeys
+                           if not k.startswith(_TOMB)
+                           and key_slot(k) not in migrating
+                           and s not in self._replicas_for(k)]
+                for chunk in _chunks(foreign, self.config.batch_keys):
+                    try:
+                        self._shard_op(s, lambda c, ks=chunk: c.mdelete(ks))
+                    except StoreError:
+                        break
             if copied:
                 self.stats.note_read_repair(copied)
             if sp:
-                sp.set(shard=s, copied=copied, pruned=len(dead))
+                sp.set(shard=s, copied=copied,
+                       pruned=len(dead) + len(foreign))
 
     def _gc_tombstones(self) -> None:
         """Drop deletion markers once every shard is healthy again."""
@@ -1543,6 +1709,180 @@ class NetKVCluster:
                 return  # a shard vanished again; keep markers, retry later
         self._tombstones = False
 
+    # --- online slot migration --------------------------------------------
+
+    def migrate_slots(self, slots: Iterable[int], dst: int) -> Dict[str, Any]:
+        """Move primary ownership of hash ``slots`` to shard ``dst``
+        while serving reads and writes.
+
+        Four phases. (1) Mark the slots migrating: from here every
+        write dual-writes to both windows (destination ack required)
+        and every read double-reads (destination first). (2) Copy: scan
+        the live keys of the moving slots and write the ones the
+        destination lacks with MSETNX, so a value dual-written after
+        the scan is never clobbered by an older source read; repeat
+        until a pass copies nothing (drained). (3) Cutover: record the
+        override and bump the routing epoch — the destination window is
+        now authoritative. (4) Cleanup: delete the source-side copies
+        that no longer sit in any replica window (a shard that is down
+        for the cleanup gets the same pruning at fail-back repair).
+        """
+        n = len(self._pools)
+        dst = int(dst)
+        if not 0 <= dst < n:
+            raise StoreError(f"destination shard {dst} out of range 0..{n - 1}")
+        requested = sorted({int(s) for s in slots})
+        for s in requested:
+            if not 0 <= s < _HASH_SLOTS:
+                raise StoreError(f"slot {s} out of range 0..{_HASH_SLOTS - 1}")
+        with self._route_lock:
+            stuck = [s for s in requested if s in self._migrating]
+            if stuck:
+                raise StoreError(f"slots already migrating: {stuck[:8]}")
+            moving = [s for s in requested
+                      if self._primary_for_slot(s) != dst]
+            sources = {self._primary_for_slot(s) for s in moving}
+            for s in moving:
+                self._migrating[s] = dst
+            self._routing_epoch += 1
+            epoch = self._routing_epoch
+        if not moving:
+            return {"slots": 0, "keys_moved": 0, "epoch": epoch}
+        trace.event("netkv.migrate_begin", slots=len(moving), dst=dst)
+        moving_set = set(moving)
+        dst_window = self._window(dst)
+        moved = 0
+        try:
+            # Phase 2: copy + drain. Writes arriving after the marker
+            # dual-write to the destination, so each pass only chases
+            # keys that predate the migration; pass 2 is normally empty.
+            for _ in range(8):
+                copied = self._copy_migrating(moving_set, dst, dst_window)
+                moved += copied
+                if copied == 0:
+                    break
+            # Phase 3: cutover.
+            with self._route_lock:
+                for s in moving:
+                    if dst == s % n:
+                        self._slot_owner.pop(s, None)  # back to default map
+                    else:
+                        self._slot_owner[s] = dst
+                    self._migrating.pop(s, None)
+                self._routing_epoch += 1
+                epoch = self._routing_epoch
+        except BaseException:
+            # Abort: un-mark so routing falls back to the source window
+            # (destination copies are surplus replicas, never stale
+            # truth — the source kept receiving every dual-write).
+            with self._route_lock:
+                for s in moving:
+                    self._migrating.pop(s, None)
+                self._routing_epoch += 1
+            raise
+        # Phase 4: cleanup stale source copies.
+        self._cleanup_moved(moving_set, sources, dst_window)
+        self.stats.note_migration(len(moving), moved)
+        trace.event("netkv.migrate_cutover", slots=len(moving), keys=moved,
+                    dst=dst, epoch=epoch)
+        return {"slots": len(moving), "keys_moved": moved, "epoch": epoch}
+
+    def _copy_migrating(self, moving: set, dst: int,
+                        dst_window: List[int]) -> int:
+        """One copy pass: push live keys of ``moving`` slots that the
+        destination primary does not hold yet. Returns keys copied."""
+        candidates = [k for k in self.keys() if key_slot(k) in moving]
+        copied = 0
+        for chunk in _chunks(candidates, max(1, self.config.batch_keys // 2)):
+            # Presence check against the destination primary — a key
+            # already there came from an earlier pass or a dual-write
+            # (fresher than anything the source can tell us), and a
+            # tombstone there means it was deleted mid-migration.
+            probe = chunk + [_TOMB + k for k in chunk]
+            try:
+                have = self._shard_op(dst, lambda c, ks=probe: c.mget(ks))
+            except StoreError:
+                have = [None] * len(probe)  # dst down: MSETNX is idempotent
+            need = [k for k, v, t in zip(chunk, have[:len(chunk)],
+                                         have[len(chunk):])
+                    if v is None and t is None]
+            items: List[Tuple[str, bytes]] = []
+            for k in need:
+                # Read the source window directly: a double-read via
+                # get() would consult the destination window first and
+                # read-repair the value onto it on overlap, making the
+                # MSETNX below report nothing stored and the drain
+                # accounting lie. _replicas_for still routes to the
+                # source until cutover flips the override.
+                try:
+                    items.append((k, self._get_window(k, self._replicas_for(k))))
+                except KeyNotFound:
+                    continue  # deleted between the scan and this read
+            if items:
+                copied += self._msetnx_window(items, dst_window)
+        return copied
+
+    def _msetnx_window(self, items: List[Tuple[str, bytes]],
+                       replicas: List[int]) -> int:
+        """Replicated set-if-absent across a window; ack-on->=1 like
+        :meth:`_mset_chunk`. Returns how many keys were actually new."""
+        up, probe, rest = self._split_health(replicas)
+        acked: List[int] = []
+        stored = 0
+        last_exc: Optional[BaseException] = None
+
+        def attempt(idx: int) -> None:
+            nonlocal stored, last_exc
+            try:
+                flags = self._shard_op(idx, lambda c, it=items: c.msetnx(it))
+            except StoreUnavailable as exc:
+                last_exc = exc
+                return
+            acked.append(idx)
+            stored = max(stored, sum(flags))
+
+        for idx in up:
+            attempt(idx)
+        if not acked:
+            for idx in probe + rest:
+                attempt(idx)
+        else:
+            for idx in probe:
+                self._probe(idx)
+        if not acked:
+            raise StoreUnavailable(
+                f"no replica of {len(replicas)} accepted a "
+                f"{len(items)}-key migration copy"
+            ) from last_exc
+        return stored
+
+    def _cleanup_moved(self, moving: set, sources: set,
+                       dst_window: List[int]) -> None:
+        """Post-cutover: drop copies of moved keys from shards that are
+        no longer in the slot's replica window (a union key scan would
+        otherwise resurrect them in listings after a later delete)."""
+        old: set = set()
+        for src in sources:
+            old.update(self._window(src))
+        for idx in sorted(old - set(dst_window)):
+            try:
+                held = self._shard_op(idx, lambda c: c.keys())
+            except StoreError:
+                continue  # down: fail-back repair prunes foreign copies
+            doomed = [k for k in held if not k.startswith(_TOMB)
+                      and key_slot(k) in moving]
+            for chunk in _chunks(doomed, self.config.batch_keys):
+                try:
+                    self._shard_op(idx, lambda c, ks=chunk: c.mdelete(ks))
+                except StoreError:
+                    break
+
+    def snapshot_all(self) -> List[Dict[str, Any]]:
+        """Ask every shard to write a snapshot and compact its WAL;
+        returns one persistence-counter dict per shard."""
+        return [self._shard_op(idx, lambda c: c.snapshot())
+                for idx in range(len(self._pools))]
+
     # --- introspection ----------------------------------------------------
 
     def replica_health(self) -> Dict[str, Any]:
@@ -1553,12 +1893,19 @@ class NetKVCluster:
                 for addr, st in zip(self.addresses, self._states)
             ]
             pending = len(self._repair_pending)
+        with self._route_lock:
+            epoch = self._routing_epoch
+            overrides = len(self._slot_owner)
+            migrating = len(self._migrating)
         return {
             "replication": self.replication,
             "nshards": len(shards),
             "up": sum(1 for s in shards if s["up"]),
             "shards": shards,
             "pending_repairs": pending,
+            "routing_epoch": epoch,
+            "slot_overrides": overrides,
+            "migrating_slots": migrating,
         }
 
     def close(self) -> None:
@@ -1602,6 +1949,14 @@ class NetKVStore(DataStore):
     def replica_health(self) -> Dict[str, Any]:
         """Per-shard health snapshot (see NetKVCluster.replica_health)."""
         return self.cluster.replica_health()
+
+    def migrate_slots(self, slots: Iterable[int], dst: int) -> Dict[str, Any]:
+        """Online resharding (see NetKVCluster.migrate_slots)."""
+        return self.cluster.migrate_slots(slots, dst)
+
+    def snapshot_all(self) -> List[Dict[str, Any]]:
+        """Snapshot + WAL-compact every shard (persistent servers only)."""
+        return self.cluster.snapshot_all()
 
     def write(self, key: str, data: bytes) -> None:
         self.cluster.set(validate_key(key), data)

@@ -179,6 +179,10 @@ class TransportStats:
     MGET/MSET/MDEL frame; ``coalesced_keys`` — cumulative count of
     single-key ops absorbed by those folds (each fold saves
     ``keys - 1`` round trips).
+    Slot-migration counters: ``migrated_slots`` / ``migrated_keys`` —
+    hash slots cut over and keys copied by ``migrate_slots``;
+    ``dual_writes`` — writes mirrored to both the old and new replica
+    windows while their slot was mid-migration.
     """
 
     def __init__(self) -> None:
@@ -201,6 +205,9 @@ class TransportStats:
         self.max_batch_keys = 0
         self.coalesced_requests = 0
         self.coalesced_keys = 0
+        self.migrated_slots = 0
+        self.migrated_keys = 0
+        self.dual_writes = 0
         self.latency = LatencyHistogram()
 
     def note_request(self, nbytes_sent: int) -> None:
@@ -263,6 +270,15 @@ class TransportStats:
             if nkeys > self.max_batch_keys:
                 self.max_batch_keys = nkeys
 
+    def note_migration(self, nslots: int, nkeys: int) -> None:
+        with self._lock:
+            self.migrated_slots += nslots
+            self.migrated_keys += nkeys
+
+    def note_dual_write(self) -> None:
+        with self._lock:
+            self.dual_writes += 1
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -284,6 +300,9 @@ class TransportStats:
                 "max_batch_keys": self.max_batch_keys,
                 "coalesced_requests": self.coalesced_requests,
                 "coalesced_keys": self.coalesced_keys,
+                "migrated_slots": self.migrated_slots,
+                "migrated_keys": self.migrated_keys,
+                "dual_writes": self.dual_writes,
                 "latency": self.latency.as_dict(),
             }
 
@@ -296,4 +315,5 @@ class TransportStats:
             self.read_repairs = self.rename_orphans = 0
             self.batched_requests = self.batched_keys = self.max_batch_keys = 0
             self.coalesced_requests = self.coalesced_keys = 0
+            self.migrated_slots = self.migrated_keys = self.dual_writes = 0
             self.latency.reset()

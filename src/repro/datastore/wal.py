@@ -1,0 +1,426 @@
+"""Per-shard durability: framed append-only log, snapshots, compaction.
+
+A :class:`ShardWAL` gives one NetKV shard a crash-consistent disk image
+made of two files in its directory:
+
+* ``snapshot.bin`` — the full key space at some past moment, written
+  atomically (temp file + fsync + ``os.replace`` + directory fsync).
+* ``wal.log`` — every mutation since that snapshot, one CRC-framed
+  record per logical write (deletes included, so a replayed shard does
+  not resurrect removed keys).
+
+Recovery loads the snapshot and replays the log.  A torn tail record —
+the normal result of crashing mid-append — is *truncated*, not fatal:
+replay stops at the last frame whose length and CRC32 check out, and
+the file is cut back to that offset before appends resume.  Everything
+before the tear was acked against a completed fsync and survives.
+
+Durability is group-committed: appends only buffer bytes in memory and
+bump ``seq``; the serving loop awaits :meth:`commit` before releasing
+responses, and concurrent waiters share a single write+fsync pass on an
+executor thread.  One fsync therefore covers an entire pipelined burst
+(and every burst that arrived while the previous fsync was in flight),
+which is what keeps durable writes within shouting distance of the
+in-memory numbers (see ``BENCH_netkv_persist.json``).
+
+Frame format (little-endian)::
+
+    record  := u32 body_len | u32 crc32(body) | body
+    body    := op:1 | fields
+    op 'S'  := u32 key_len | key_utf8 | value_bytes
+    op 'D'  := key_utf8
+    op 'R'  := u32 src_len | src_utf8 | dst_utf8
+    op 'F'  := (empty; clears the key space)
+
+The snapshot file is the magic line ``RKVSNAP1\\n`` followed by 'S'
+records in the same framing, so one decoder serves both files.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import struct
+import threading
+import zlib
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.datastore.base import StoreError
+
+__all__ = [
+    "DurabilityConfig",
+    "ShardWAL",
+    "WALCorruption",
+    "encode_record",
+    "iter_frames",
+    "replay_into",
+]
+
+_HDR = struct.Struct("<II")  # body_len, crc32(body)
+_U32 = struct.Struct("<I")
+_SNAP_MAGIC = b"RKVSNAP1\n"
+_SNAP_NAME = "snapshot.bin"
+_WAL_NAME = "wal.log"
+_MAX_FRAME = 1 << 30  # sanity bound; anything larger is corruption
+
+
+class WALCorruption(StoreError):
+    """A frame *before* the tail failed validation.
+
+    Torn tails are expected and silently truncated; a bad frame with
+    valid frames after it means the file was damaged some other way and
+    recovery refuses to guess.  (We only detect this within the bytes
+    we scan linearly, so in practice this surfaces for snapshot files,
+    whose atomic rename means they must be wholly valid.)
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class DurabilityConfig:
+    """Knobs for the ``[durability]`` config section.
+
+    ``fsync`` gates every synchronous-flush call site (WAL group
+    commit, snapshot rename, FSStore atomic writes); turning it off
+    keeps the write path byte-identical but trusts the OS page cache.
+    ``compact_bytes`` is the WAL size that triggers an automatic
+    snapshot + log reset on the next mutation.
+    """
+
+    fsync: bool = True
+    compact_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.compact_bytes < 4096:
+            raise ValueError("durability.compact_bytes must be >= 4096")
+
+
+def _sync_file(fh) -> None:
+    fh.flush()
+    if hasattr(os, "fdatasync"):
+        os.fdatasync(fh.fileno())
+    else:  # pragma: no cover - non-POSIX fallback
+        os.fsync(fh.fileno())
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a rename inside it survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems that refuse
+        pass
+    finally:
+        os.close(fd)
+
+
+# --- framing ---------------------------------------------------------------
+
+
+def encode_record(op: bytes, *fields: bytes) -> bytes:
+    """Frame one record: 'S' (key, value), 'D' (key), 'R' (src, dst),
+    'F' ()."""
+    if op in (b"S", b"R"):
+        first, second = fields
+        body = op + _U32.pack(len(first)) + first + second
+    elif op == b"D":
+        body = op + fields[0]
+    elif op == b"F":
+        body = op
+    else:
+        raise ValueError(f"unknown WAL op {op!r}")
+    return _HDR.pack(len(body), zlib.crc32(body)) + body
+
+
+def iter_frames(data: bytes, offset: int = 0) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(next_offset, body)`` for every valid frame; stop at the
+    first torn or corrupt one (the caller decides whether what remains
+    is an acceptable tail)."""
+    n = len(data)
+    while offset + _HDR.size <= n:
+        body_len, crc = _HDR.unpack_from(data, offset)
+        end = offset + _HDR.size + body_len
+        if body_len > _MAX_FRAME or end > n:
+            return  # torn tail: length field or body ran off the file
+        body = data[offset + _HDR.size:end]
+        if zlib.crc32(body) != crc:
+            return  # torn tail: partially written body
+        yield end, body
+        offset = end
+
+
+def _decode_body(body: bytes) -> Tuple[bytes, List[bytes]]:
+    op = body[:1]
+    if op == b"S" or op == b"R":
+        if len(body) < 1 + _U32.size:
+            raise WALCorruption("record too short for its op")
+        (first_len,) = _U32.unpack_from(body, 1)
+        first_end = 1 + _U32.size + first_len
+        if first_end > len(body):
+            raise WALCorruption("record key length exceeds body")
+        return op, [body[1 + _U32.size:first_end], body[first_end:]]
+    if op == b"D":
+        return op, [body[1:]]
+    if op == b"F":
+        return op, []
+    raise WALCorruption(f"unknown WAL op {op!r}")
+
+
+def replay_into(data: bytes, into: Dict[str, bytes],
+                offset: int = 0) -> Tuple[int, int]:
+    """Apply every valid frame in ``data`` to ``into``.
+
+    Returns ``(records_applied, valid_end_offset)``; bytes past the
+    valid end are a torn tail the caller should truncate.
+    """
+    applied = 0
+    valid_end = offset
+    for end, body in iter_frames(data, offset):
+        op, fields = _decode_body(body)
+        if op == b"S":
+            into[fields[0].decode("utf-8")] = fields[1]
+        elif op == b"D":
+            into.pop(fields[0].decode("utf-8"), None)
+        elif op == b"R":
+            src = fields[0].decode("utf-8")
+            dst = fields[1].decode("utf-8")
+            if src in into:
+                into[dst] = into.pop(src)
+        elif op == b"F":
+            into.clear()
+        applied += 1
+        valid_end = end
+    return applied, valid_end
+
+
+# --- the per-shard log -----------------------------------------------------
+
+
+class ShardWAL:
+    """Append-only write log plus snapshot for one shard.
+
+    Thread model: appends and :meth:`commit` run on the shard's event
+    loop thread (serialized by the server's dispatch lock); the actual
+    write+fsync runs on an executor thread.  ``_buf_lock`` guards the
+    pending buffer and sequence counters across that boundary, and
+    ``_file_lock`` serializes file I/O so concurrent sync passes and
+    snapshots cannot interleave their writes.
+    """
+
+    def __init__(self, directory: str,
+                 config: Optional[DurabilityConfig] = None) -> None:
+        self.directory = directory
+        self.config = config or DurabilityConfig()
+        os.makedirs(directory, exist_ok=True)
+        self._buf_lock = threading.Lock()
+        self._file_lock = threading.Lock()
+        self._pending = bytearray()
+        self.seq = 0           # records appended since open
+        self.synced_seq = 0    # records durable on disk
+        self._sync_task: Optional[asyncio.Task] = None
+        self._closed = False
+        # counters surfaced via info() / SNAPSHOT responses
+        self.appends = 0
+        self.fsync_batches = 0
+        self.wal_bytes = 0     # bytes written to the log since open
+        self.snapshots = 0
+        self.replayed_records = 0
+        self.truncated_bytes = 0
+        self.recovered = self._recover()
+        self._fh = open(self._wal_path, "ab")
+        try:
+            self.log_bytes = os.path.getsize(self._wal_path)
+        except OSError:  # pragma: no cover
+            self.log_bytes = 0
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def _wal_path(self) -> str:
+        return os.path.join(self.directory, _WAL_NAME)
+
+    @property
+    def _snap_path(self) -> str:
+        return os.path.join(self.directory, _SNAP_NAME)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> Dict[str, bytes]:
+        """Snapshot + log replay with torn-tail truncation."""
+        data: Dict[str, bytes] = {}
+        if os.path.exists(self._snap_path):
+            with open(self._snap_path, "rb") as fh:
+                raw = fh.read()
+            if not raw.startswith(_SNAP_MAGIC):
+                raise WALCorruption(
+                    f"{self._snap_path} is not a NetKV snapshot")
+            applied, valid_end = replay_into(raw, data, len(_SNAP_MAGIC))
+            if valid_end != len(raw):
+                # The snapshot was renamed into place after a full
+                # fsync; a short one means outside interference.
+                raise WALCorruption(
+                    f"{self._snap_path} is damaged at byte {valid_end}")
+            self.replayed_records += applied
+        if os.path.exists(self._wal_path):
+            with open(self._wal_path, "rb") as fh:
+                raw = fh.read()
+            applied, valid_end = replay_into(raw, data)
+            self.replayed_records += applied
+            if valid_end != len(raw):
+                # Crash mid-append: drop the torn tail so appends
+                # resume on a frame boundary.
+                self.truncated_bytes += len(raw) - valid_end
+                with open(self._wal_path, "r+b") as fh:
+                    fh.truncate(valid_end)
+                    if self.config.fsync:
+                        _sync_file(fh)
+        return data
+
+    # -- appends (loop thread) ---------------------------------------------
+
+    def _append(self, record: bytes) -> int:
+        with self._buf_lock:
+            if self._closed:
+                raise StoreError("WAL is closed")
+            self._pending += record
+            self.seq += 1
+            self.appends += 1
+            return self.seq
+
+    def append_set(self, key: str, value: bytes) -> int:
+        return self._append(encode_record(b"S", key.encode("utf-8"), value))
+
+    def append_delete(self, key: str) -> int:
+        return self._append(encode_record(b"D", key.encode("utf-8")))
+
+    def append_rename(self, src: str, dst: str) -> int:
+        return self._append(encode_record(
+            b"R", src.encode("utf-8"), dst.encode("utf-8")))
+
+    def append_flush(self) -> int:
+        return self._append(encode_record(b"F"))
+
+    # -- group commit ------------------------------------------------------
+
+    async def commit(self, target: Optional[int] = None) -> None:
+        """Block until every record up to ``target`` (default: all
+        appended so far) is durable.  Concurrent callers coalesce onto
+        one executor write+fsync pass; a pass picks up everything
+        buffered at the moment it drains, so late joiners usually find
+        their records already covered."""
+        if target is None:
+            target = self.seq
+        while self.synced_seq < target:
+            task = self._sync_task
+            if task is None:
+                task = asyncio.get_running_loop().create_task(
+                    self._sync_once())
+                self._sync_task = task
+            try:
+                # shield: one cancelled waiter must not abort the write
+                # other connections' acks are riding on.
+                await asyncio.shield(task)
+            finally:
+                if self._sync_task is task and task.done():
+                    self._sync_task = None
+
+    async def _sync_once(self) -> None:
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._write_and_sync)
+
+    def _write_and_sync(self) -> None:
+        with self._file_lock:
+            with self._buf_lock:
+                if self._closed:
+                    return
+                buf = bytes(self._pending)
+                self._pending.clear()
+                upto = self.seq
+            if buf:
+                self._fh.write(buf)
+                if self.config.fsync:
+                    _sync_file(self._fh)
+                else:
+                    self._fh.flush()
+                self.wal_bytes += len(buf)
+                self.log_bytes += len(buf)
+                self.fsync_batches += 1
+            with self._buf_lock:
+                if upto > self.synced_seq:
+                    self.synced_seq = upto
+
+    # -- snapshot + compaction ---------------------------------------------
+
+    def snapshot(self, items: Iterable[Tuple[str, bytes]]) -> Dict[str, int]:
+        """Write a full snapshot and reset the log (compaction).
+
+        Runs synchronously on the caller's thread; the caller must hold
+        whatever lock makes ``items`` a consistent view of the shard.
+        Everything appended so far is superseded by the snapshot, so
+        pending records are dropped and outstanding :meth:`commit`
+        waiters are satisfied by the snapshot's fsync.
+        """
+        tmp = self._snap_path + ".tmp"
+        with self._file_lock:
+            if self._closed:
+                raise StoreError("WAL is closed")
+            nkeys = 0
+            with open(tmp, "wb") as fh:
+                fh.write(_SNAP_MAGIC)
+                for key, value in items:
+                    fh.write(encode_record(b"S", key.encode("utf-8"), value))
+                    nkeys += 1
+                if self.config.fsync:
+                    _sync_file(fh)
+            os.replace(tmp, self._snap_path)
+            if self.config.fsync:
+                fsync_dir(self.directory)
+            self._fh.close()
+            self._fh = open(self._wal_path, "wb")  # truncate the log
+            if self.config.fsync:
+                _sync_file(self._fh)
+            with self._buf_lock:
+                self._pending.clear()
+                self.synced_seq = self.seq
+            self.log_bytes = 0
+            self.snapshots += 1
+        return {"keys": nkeys, "snapshots": self.snapshots,
+                "wal_bytes": self.wal_bytes}
+
+    def needs_compaction(self) -> bool:
+        # In-memory size tracking: this runs after every mutating
+        # command, so it must not cost a stat() syscall.
+        return (self.log_bytes + len(self._pending)
+                >= self.config.compact_bytes)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush whatever is buffered and close the file handle."""
+        self._write_and_sync()
+        with self._file_lock, self._buf_lock:
+            if not self._closed:
+                self._closed = True
+                try:
+                    self._fh.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def info(self) -> Dict[str, object]:
+        with self._buf_lock:
+            return {
+                "directory": self.directory,
+                "fsync": self.config.fsync,
+                "seq": self.seq,
+                "synced_seq": self.synced_seq,
+                "appends": self.appends,
+                "fsync_batches": self.fsync_batches,
+                "wal_bytes": self.wal_bytes,
+                "snapshots": self.snapshots,
+                "replayed_records": self.replayed_records,
+                "truncated_bytes": self.truncated_bytes,
+                "recovered_keys": len(self.recovered),
+            }

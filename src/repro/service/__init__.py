@@ -37,6 +37,7 @@ from repro.service.registry import (
     QuotaExceeded,
     RegistryError,
     ServiceConfig,
+    StoreDegraded,
     UnknownCampaign,
 )
 from repro.service.server import ControlPlaneServer
@@ -53,6 +54,7 @@ __all__ = [
     "QuotaExceeded",
     "RegistryError",
     "ServiceConfig",
+    "StoreDegraded",
     "UnknownCampaign",
     "ControlPlaneServer",
 ]

@@ -36,14 +36,14 @@ from repro import trace
 from repro.core.config import workflow_config
 from repro.core.telemetry import collect_telemetry
 from repro.core.wm import WorkflowConfig
-from repro.datastore.base import DataStore, StoreError
+from repro.datastore.base import DataStore, StoreError, StoreUnavailable
 from repro.datastore.namespaced import NamespacedStore, validate_namespace_segment
 from repro.sched.shares import FairShareAdapter
 
 __all__ = [
     "CampaignState", "CampaignHandle", "CampaignRegistry", "ServiceConfig",
     "CampaignSpec", "RegistryError", "UnknownCampaign", "IllegalTransition",
-    "QuotaExceeded", "Draining",
+    "QuotaExceeded", "Draining", "StoreDegraded",
 ]
 
 
@@ -73,6 +73,15 @@ class QuotaExceeded(RegistryError):
 
 class Draining(RegistryError):
     """The daemon is draining and refuses new campaigns."""
+
+    http_status = 503
+
+
+class StoreDegraded(RegistryError):
+    """The shared store cannot complete the request right now (for
+    example a replica window is fully down, so a purge scan would be
+    blind to part of the keyspace). Retryable: the campaign stays
+    registered so a later DELETE can finish the job."""
 
     http_status = 503
 
@@ -453,7 +462,19 @@ class CampaignRegistry:
                     "terminal campaigns can be deleted (cancel it first)")
             del self._handles[campaign_id]
         handle.join(timeout=30.0)
-        purged = handle.store_view.purge()
+        try:
+            purged = handle.store_view.purge()
+        except StoreUnavailable as exc:
+            # A fully-down replica window makes the purge scan blind to
+            # part of the keyspace. Reinstate the handle (unless a
+            # concurrent create reused the id) so the client can retry
+            # the DELETE once the store heals, and answer 503 rather
+            # than an opaque 500.
+            with self._lock:
+                self._handles.setdefault(campaign_id, handle)
+            raise StoreDegraded(
+                f"campaign {campaign_id} not purged: {exc}; "
+                "retry the DELETE when the store is healthy") from exc
         return {"id": campaign_id, "purged_keys": purged}
 
     # --- tenancy ----------------------------------------------------------

@@ -105,3 +105,75 @@ class TestLayout:
         for i in range(10):
             store.write(f"dir/{i}", b"x")
         assert store.nfiles() == 10
+
+
+class TestDurability:
+    """Regression for the atomic-write gap: without the fsync path a
+    writer killed mid-burst could leave an *acked* key empty or torn
+    (data in the page cache, rename already visible). With
+    ``fsync=True`` every key acked to the caller must read back intact
+    after a SIGKILL."""
+
+    WRITER = """
+import sys
+from repro.datastore.fsstore import FSStore
+
+store = FSStore(sys.argv[1], fsync=True)
+i = 0
+while True:
+    key = "burst/k%05d" % i
+    store.write(key, ("value-%06d." % i).encode() * 64)
+    print(key, flush=True)  # ack only after write() returned
+    i += 1
+"""
+
+    @pytest.mark.persist
+    @pytest.mark.timeout(60)
+    def test_acked_writes_survive_sigkill(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.WRITER, str(tmp_path)],
+            stdout=subprocess.PIPE,
+            env={**os.environ, "PYTHONPATH": src},
+        )
+        acked = []
+        try:
+            deadline = time.monotonic() + 20.0
+            while len(acked) < 25 and time.monotonic() < deadline:
+                line = proc.stdout.readline().decode().strip()
+                if line:
+                    acked.append(line)
+            assert len(acked) >= 25, "writer produced too few acks"
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            # Acks already buffered when the kill landed still count.
+            for line in proc.stdout.read().decode().splitlines():
+                if line.strip():
+                    acked.append(line.strip())
+        finally:
+            proc.stdout.close()
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        store = FSStore(str(tmp_path))
+        for i, key in enumerate(acked):
+            data = store.read(key)
+            assert data == ("value-%06d." % i).encode() * 64, (
+                f"acked key {key} torn or lost after SIGKILL")
+
+    def test_fsync_path_still_atomic(self, tmp_path):
+        # The fsync branch must not change observable semantics.
+        store = FSStore(str(tmp_path), fsync=True)
+        store.write("k", b"v1")
+        store.write("k", b"v2")
+        assert store.read("k") == b"v2"
+        assert store.keys() == ["k"]
+        assert not os.path.exists(os.path.join(str(tmp_path), "k.tmp"))

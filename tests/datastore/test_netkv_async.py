@@ -160,10 +160,18 @@ class TestClientPoolBounds:
     def test_churn_is_bounded_by_max_size(self, server):
         """Regression: bursty fan-out used to open one short-lived
         connection per concurrent miss; the semaphore caps lifetime
-        connections at max_size."""
+        connections at max_size.
+
+        max_idle == max_size so every released client goes back to the
+        idle list: with a smaller idle cap the pool *deliberately*
+        closes surplus connections on release and reopens on the next
+        miss, so `created` drifts above max_size whenever more than
+        max_idle borrowers happen to overlap — a scheduling accident,
+        which made this test flaky. The bug being pinned (one socket
+        per miss) would still blow past the bound by two orders."""
         pool = _ClientPool(server.address, TransportConfig(),
                            TransportStats(), lambda: random.Random(7),
-                           max_idle=2, max_size=4)
+                           max_idle=4, max_size=4)
         errors = []
 
         def worker():

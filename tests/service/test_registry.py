@@ -9,7 +9,7 @@ import threading
 
 import pytest
 
-from repro.datastore.base import StoreError
+from repro.datastore.base import StoreError, StoreUnavailable
 from repro.datastore.kvstore import KVStore
 from repro.datastore.namespaced import (NamespacedStore,
                                         validate_namespace_segment)
@@ -19,7 +19,8 @@ from repro.service.registry import (CampaignRegistry, CampaignSpec,
                                     CampaignState, Draining,
                                     IllegalTransition, QuotaExceeded,
                                     RegistryError, ServiceConfig,
-                                    UnknownCampaign, _TRANSITIONS)
+                                    StoreDegraded, UnknownCampaign,
+                                    _TRANSITIONS)
 
 TINY = {"rounds": 1}
 
@@ -183,6 +184,44 @@ class TestRegistryBookkeeping:
         result = registry.delete(handle.campaign_id)
         assert result["purged_keys"] > 0
         assert registry.store.keys(prefix) == []
+
+    def test_delete_with_store_down_is_retryable(self):
+        """A purge that cannot scan (replica window down) must map to a
+        retryable 503 and leave the campaign deletable, not half-forget
+        it with its keyspace still on the shards."""
+
+        class FlakyStore(KVStore):
+            down = False
+
+            def keys(self, prefix=""):
+                if self.down:
+                    raise StoreUnavailable("replica window fully down")
+                return super().keys(prefix)
+
+        store = FlakyStore()
+        reg = CampaignRegistry(store, config=ServiceConfig(pool_workers=2))
+        try:
+            handle = reg.submit({"tenant": "alice", **TINY})
+            handle.wait(timeout=30.0)
+            handle.join(timeout=30.0)
+            prefix = handle.store_view.prefix
+
+            store.down = True
+            with pytest.raises(StoreDegraded) as err:
+                reg.delete(handle.campaign_id)
+            assert err.value.http_status == 503
+            assert "retry" in str(err.value)
+            # Not half-deleted: still visible, keyspace untouched.
+            assert reg.get(handle.campaign_id) is handle
+
+            store.down = False  # shard healed: the retry succeeds
+            result = reg.delete(handle.campaign_id)
+            assert result["purged_keys"] > 0
+            assert store.keys(prefix) == []
+            with pytest.raises(UnknownCampaign):
+                reg.get(handle.campaign_id)
+        finally:
+            reg.shutdown()
 
     def test_tenants_report_shows_usage_and_quota(self, registry):
         a = registry.submit({"tenant": "alice", **TINY})

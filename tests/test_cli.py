@@ -111,3 +111,27 @@ def test_python_dash_m_entrypoint():
     )
     assert proc.returncode == 0
     assert "MuMMI" in proc.stdout
+
+
+class TestNetKVAdminFlags:
+    def test_migrate_requires_slots_and_to(self, capsys):
+        assert main(["netkv", "--migrate", "netkv://h:1?replication=2"]) == 2
+        assert "--slots and --to" in capsys.readouterr().err
+
+    def test_migrate_requires_explicit_replication(self, capsys):
+        # Migration windows come from the replication factor; defaulting
+        # it silently prunes replica copies (see OPERATIONS.md).
+        assert main(["netkv", "--migrate", "netkv://h:1",
+                     "--slots", "0-10", "--to", "0"]) == 2
+        assert "replication" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["x", "5-1", "1-2-3", "-4", ""])
+    def test_bad_slot_range_is_rejected(self, spec, capsys):
+        assert main(["netkv", "--migrate", "netkv://h:1?replication=2",
+                     "--slots", spec, "--to", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_slot_range_parsing(self):
+        from repro.cli import _parse_slot_range
+        assert list(_parse_slot_range("7")) == [7]
+        assert list(_parse_slot_range("3-5")) == [3, 4, 5]

@@ -73,7 +73,9 @@ def test_operations_handbook_documents_the_knobs():
         text = fh.read()
     for needle in ("repro serve", "--share", "--max-campaigns-per-tenant",
                    "netkv --serve", "netkv --health", "/v1/drain",
-                   "REPRO_SKIP_SERVICE"):
+                   "REPRO_SKIP_SERVICE", "netkv --snapshot",
+                   "netkv --migrate", "--persist", "--no-fsync",
+                   "REPRO_SKIP_PERSIST"):
         assert needle in text, f"OPERATIONS.md no longer documents {needle}"
 
 
@@ -83,5 +85,6 @@ def test_chaos_guide_documents_the_knobs():
         text = fh.read()
     for needle in ("REPRO_CHAOS_CAMPAIGNS", "--replay", "--save-failing",
                    "counter_conservation", "selector_equivalence",
-                   "tombstone_resurrection"):
+                   "tombstone_resurrection", "crash_restart", "reshard",
+                   "durability_after_crash"):
         assert needle in text, f"CHAOS.md no longer documents {needle}"
