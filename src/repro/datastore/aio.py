@@ -40,7 +40,7 @@ import socket
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro import trace
 from repro.datastore.base import KeyNotFound, StoreError, StoreUnavailable
@@ -505,13 +505,6 @@ def _dispatch(server: "AsyncNetKVServer", cmd: str, args: List[str],
             if wal is not None:
                 wal.append_flush()
             return b""
-        if cmd == "SNAPSHOT":
-            if wal is None:
-                raise StoreError("shard has no persistence configured")
-            snap = wal.snapshot(store.items())
-            out = wal.info()
-            out["keys"] = snap["keys"]
-            return json.dumps(out, sort_keys=True).encode("utf-8")
         if cmd == "SHUTDOWN":
             threading.Thread(target=server.stop, daemon=True).start()
             return None
@@ -659,6 +652,27 @@ class _ServerConnection(_BufferedProtocol):
                     return
                 except ConnectionError:
                     return
+                if cmd == "SNAPSHOT":
+                    # Needs awaits (items copy + freeze under the
+                    # dispatch lock, file write on an executor), so it
+                    # cannot run inside _dispatch or the span below.
+                    try:
+                        snap = await owner.compact(force=True)
+                        body = owner.wal.info()
+                        body["keys"] = snap["keys"]
+                        response = json.dumps(
+                            body, sort_keys=True).encode("utf-8")
+                        hdr = b"OK %d\n" % len(response)
+                        out.append(hdr)
+                        out.append(response)
+                        out_bytes += len(hdr) + len(response)
+                    except Exception as exc:
+                        msg = str(exc).replace("\n", " ")[:500]
+                        out.append(f"ERR {msg}\n".encode("utf-8"))
+                        out_bytes += len(out[-1])
+                    if out_bytes >= _FLUSH_BYTES:
+                        await flush()
+                    continue
                 # Dispatch and respond synchronously inside the span —
                 # no awaits, so the thread-local span stack stays
                 # well-nested across the connections multiplexed here.
@@ -690,15 +704,23 @@ class _ServerConnection(_BufferedProtocol):
                     out.append(hdr)
                     out.append(response)
                     out_bytes += len(hdr) + len(response)
+                    compact_due = False
                     if wal is not None and cmd in _MUTATING:
                         # The burst's responses now depend on the log
                         # up to here; flush() will group-commit first.
                         wal_need = wal.seq
-                        if wal.needs_compaction():
-                            with owner.lock:
-                                wal.snapshot(owner.backend.items())
-                    if out_bytes >= _FLUSH_BYTES:
-                        await flush()
+                        compact_due = wal.needs_compaction()
+                if compact_due:
+                    # Awaited outside the span (spans are thread-local;
+                    # see above).  The heavy snapshot write runs on an
+                    # executor, so the loop keeps serving other
+                    # connections while this one waits.
+                    try:
+                        await owner.compact()
+                    except StoreError:
+                        pass  # a racing SNAPSHOT/compaction got there
+                if out_bytes >= _FLUSH_BYTES:
+                    await flush()
         except asyncio.CancelledError:
             raise
         except Exception:
@@ -751,6 +773,7 @@ class AsyncNetKVServer:
         self._listen_sock = sock
         self._address: Tuple[str, int] = sock.getsockname()
         self._loop_thread: Optional[LoopThread] = None
+        self._snap_lock: Optional[asyncio.Lock] = None
         self._aserver: Optional[asyncio.AbstractServer] = None
         self._conns: set = set()
         self._conn_lock = threading.Lock()
@@ -792,9 +815,37 @@ class AsyncNetKVServer:
 
     async def _open(self) -> asyncio.AbstractServer:
         loop = asyncio.get_running_loop()
+        self._snap_lock = asyncio.Lock()
         return await loop.create_server(
             lambda: _ServerConnection(self), sock=self._listen_sock,
             backlog=self._backlog, start_serving=True)
+
+    async def compact(self, force: bool = False) -> Dict[str, object]:
+        """Snapshot + compact the WAL without stalling the loop.
+
+        The key-space copy and the log freeze happen together under the
+        dispatch lock (cheap: the freeze is two renames), then the
+        snapshot write + fsync runs on an executor while the loop keeps
+        serving — the WAL's own file lock holds group commits off until
+        the snapshot lands, and commit waiters poll rather than pile
+        writes into an ambiguous file.  With ``force=False`` the call
+        is a no-op unless the log has outgrown ``compact_bytes``, so
+        concurrent triggers collapse into one snapshot.
+        """
+        if self.wal is None:
+            raise StoreError("shard has no persistence configured")
+        if self._snap_lock is None:
+            raise StoreError("server is not running")
+        async with self._snap_lock:
+            with self.lock:
+                if not force and not self.wal.needs_compaction():
+                    return {"keys": len(self.backend),
+                            "snapshots": self.wal.snapshots,
+                            "wal_bytes": self.wal.wal_bytes}
+                items = list(self.backend.items())
+                self.wal.begin_snapshot()
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.wal.write_snapshot, items)
 
     def stop(self, join_timeout: float = 5.0) -> None:
         """Stop accepting, sever live connections, and join the loop.

@@ -227,10 +227,13 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
         fs://<directory>          filesystem backend
         taridx://<directory>      indexed-tar archive backend
         kv://[nservers]           in-memory KV cluster (default 1 server)
-        netkv://host:port[,...][?replication=N]
+        netkv://host:port[,...][?replication=N&route_refresh=S]
                                   networked KV cluster (live servers);
                                   ``replication`` places every hash slot
-                                  on N consecutive shards for failover
+                                  on N consecutive shards for failover,
+                                  ``route_refresh`` is how often (s) the
+                                  client polls the shared routing map
+                                  for migrations done by other processes
 
     Extra keyword arguments are forwarded to the backend constructor.
     """
@@ -257,6 +260,12 @@ def open_store(url: str, **kwargs: Any) -> DataStore:
                 name, eq, value = pair.partition("=")
                 if name == "replication" and eq and value.isdigit():
                     kwargs.setdefault("replication", int(value))
+                elif name == "route_refresh" and eq:
+                    try:
+                        kwargs.setdefault("route_refresh", float(value))
+                    except ValueError:
+                        raise StoreError(
+                            f"bad netkv route_refresh value {value!r}")
                 else:
                     raise StoreError(f"unknown netkv URL option {pair!r}")
         addresses = []

@@ -118,6 +118,10 @@ class TransportConfig:
     recovering from one server blip don't reconnect in lockstep.
     ``batch_keys`` caps how many keys one MGET/MSET/MDEL round trip
     carries (the pipeline depth); larger batches are chunked.
+    ``route_refresh`` is how often (seconds) a cluster client re-reads
+    the shared routing map published on the shards, which is what lets
+    it observe slot migrations performed by *other* processes; ``0``
+    disables polling (single-writer test setups).
     """
 
     op_timeout: float = 5.0
@@ -128,8 +132,11 @@ class TransportConfig:
     jitter: float = 0.5
     max_payload: int = 256 * 1024 * 1024
     batch_keys: int = 512
+    route_refresh: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.route_refresh < 0:
+            raise ValueError("route_refresh must be >= 0")
         if self.op_timeout <= 0 or self.connect_timeout <= 0:
             raise ValueError("timeouts must be > 0")
         if self.retries < 0:
@@ -737,6 +744,13 @@ class NetKVClient:
 # "written while you were down" and does not resurrect tagged keys.
 _TOMB = "__repro_tomb__/"
 
+# Reserved key holding the cluster's routing map (slot overrides plus
+# in-flight migration state), written to *every* shard so any client —
+# including one in a different process — can discover placement changes.
+# Durable shards persist it through their WAL, so the map survives a
+# full cluster restart.  Excluded from keys()/repair/migration sweeps.
+_ROUTE_KEY = "__repro_route__"
+
 
 class _ShardState:
     """Health record for one shard; mutated under the cluster's health lock."""
@@ -870,7 +884,8 @@ class NetKVCluster:
                  rng: Optional[np.random.Generator] = None,
                  replication: int = 1,
                  probe_cooldown: float = 0.25,
-                 transport: str = "async") -> None:
+                 transport: str = "async",
+                 route_refresh: Optional[float] = None) -> None:
         if not addresses:
             raise StoreError("cluster needs at least one server address")
         if replication < 1:
@@ -920,13 +935,34 @@ class NetKVCluster:
         # Slot routing: by default slot s lives on shard s % n; a
         # finished migration records an override. While a slot is in
         # ``_migrating`` writes go to both windows and reads try the
-        # destination first. ``_routing_epoch`` bumps on every placement
-        # change so operators (and tests) can observe cutovers.
+        # destination first; while it is in ``_draining`` the old copies
+        # have not been pruned yet and deletes tombstone both windows.
+        # ``_routing_epoch`` bumps on every placement change so
+        # operators (and tests) can observe cutovers.
+        #
+        # The map is not private to this instance: migrations publish
+        # it to every shard under ``_ROUTE_KEY`` and every instance
+        # re-reads it at most every ``route_refresh`` seconds, so a
+        # migration run from another process (the OPERATIONS.md
+        # ``repro netkv --migrate`` flow) is observed by long-running
+        # daemons before the old copies are cleaned up.
         self._route_lock = threading.Lock()
         self._slot_owner: Dict[int, int] = {}
         self._migrating: Dict[int, int] = {}
+        self._draining: Dict[int, int] = {}
         self._routing_epoch = 0
+        self.route_refresh = (self.config.route_refresh
+                              if route_refresh is None
+                              else float(route_refresh))
+        if self.route_refresh < 0:
+            raise StoreError("route_refresh must be >= 0")
         self._now = time.monotonic  # swappable in tests
+        # First poll happens one interval after construction: a fresh
+        # client has the same bounded staleness as a running one, and
+        # quick one-shot flows (health checks, unit tests) don't pay a
+        # per-shard GET they will never need.
+        self._route_last = self._now()
+        self._route_frozen = False  # True while *we* migrate
         # Dedicated single-connection clients, one per shard: kept for
         # introspection (len(), direct shard access) and older callers.
         self.clients = [
@@ -962,22 +998,150 @@ class NetKVCluster:
             primary = self._primary_for_slot(key_slot(key))
         return self._window(primary)
 
-    def _placement(self, key: str) -> Tuple[List[int], Optional[List[int]]]:
-        """(current replica window, migration-target window or None)."""
+    def _placement(self, key: str) -> Tuple[
+            List[int], Optional[List[int]], Optional[List[int]]]:
+        """(current window, migration-target window or None, drain
+        window or None — the pre-cutover window of a slot whose old
+        copies have not been pruned yet)."""
         slot = key_slot(key)
         with self._route_lock:
             primary = self._primary_for_slot(slot)
             dst = self._migrating.get(slot)
+            src = self._draining.get(slot)
         window = self._window(primary)
-        if dst is None or dst == primary:
-            return window, None
-        return window, self._window(dst)
+        if dst is not None and dst != primary:
+            return window, self._window(dst), None
+        if src is not None and src != primary:
+            return window, None, self._window(src)
+        return window, None, None
 
     def _migrating_slots(self) -> Optional[Dict[int, int]]:
-        """Snapshot of in-flight migrations, or None (the common case,
-        so batch routing pays one lock acquire and no copies)."""
+        """Snapshot of slots needing special handling (mid-migration or
+        draining), or None (the common case, so batch routing pays one
+        lock acquire and no copies).  Batch ops detour these keys
+        through the single-key paths, which know both windows."""
         with self._route_lock:
-            return dict(self._migrating) if self._migrating else None
+            if not self._migrating and not self._draining:
+                return None
+            out = dict(self._draining)
+            out.update(self._migrating)
+            return out
+
+    # --- shared routing map ----------------------------------------------
+
+    def _route_doc(self) -> bytes:
+        with self._route_lock:
+            doc = {
+                "epoch": self._routing_epoch,
+                "owner": {str(s): d for s, d in self._slot_owner.items()},
+                "migrating": {str(s): d
+                              for s, d in self._migrating.items()},
+                "draining": {str(s): d for s, d in self._draining.items()},
+            }
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    def _publish_route(self, best_effort: bool = False) -> None:
+        """Write the routing map to every reachable shard.
+
+        Written to all shards (not a replica window) because the map
+        must be discoverable by a client that can only reach a subset.
+        With ``best_effort=False`` at least one shard must ack — a
+        migration that nobody else can observe must not proceed to
+        prune source copies.
+        """
+        doc = self._route_doc()
+        acked = 0
+        last_exc: Optional[StoreError] = None
+        for idx in range(len(self._pools)):
+            try:
+                self._shard_op(idx, lambda c, v=doc: c.set(_ROUTE_KEY, v))
+                acked += 1
+            except StoreError as exc:
+                last_exc = exc
+        if not acked and not best_effort:
+            raise StoreUnavailable(
+                "no shard accepted the routing map") from last_exc
+
+    def _maybe_refresh_route(self) -> None:
+        """Time-gated poll of the shared map, called at the top of every
+        public operation (like ``_maybe_repair``)."""
+        if self.route_refresh <= 0 or self._route_frozen:
+            return
+        now = self._now()
+        if now - self._route_last < self.route_refresh:
+            return
+        self._route_last = now
+        try:
+            self._refresh_route()
+        except StoreError:
+            pass  # every shard down: the operation itself will report it
+
+    def _refresh_route(self) -> None:
+        """Adopt the newest published routing map, if any.
+
+        Reads the map from every reachable shard and adopts the highest
+        epoch that beats the local one; then (anti-entropy for the map
+        itself) rewrites the local map onto shards serving an older or
+        missing copy, so the map survives shards that were down when a
+        migration published it.
+        """
+        n = len(self._pools)
+        best: Optional[Dict[str, Any]] = None
+        best_epoch = -1
+        seen: Dict[int, int] = {}
+        up, probe, _rest = self._split_health(list(range(n)))
+        for idx in up + probe:
+            try:
+                raw = self._shard_op(idx, lambda c: c.get(_ROUTE_KEY))
+            except KeyNotFound:
+                seen[idx] = -1
+                continue
+            except StoreError:
+                continue
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+                epoch = int(doc["epoch"])
+            except (ValueError, TypeError, KeyError, UnicodeDecodeError):
+                continue  # damaged copy; the rewrite below repairs it
+            seen[idx] = epoch
+            if epoch > best_epoch:
+                best, best_epoch = doc, epoch
+        adopted = False
+        with self._route_lock:
+            if (best is not None and not self._route_frozen
+                    and best_epoch > self._routing_epoch):
+                self._routing_epoch = best_epoch
+                self._slot_owner = {
+                    int(s): int(d)
+                    for s, d in (best.get("owner") or {}).items()}
+                self._migrating = {
+                    int(s): int(d)
+                    for s, d in (best.get("migrating") or {}).items()}
+                self._draining = {
+                    int(s): int(d)
+                    for s, d in (best.get("draining") or {}).items()}
+                adopted = True
+            local_epoch = self._routing_epoch
+        if adopted:
+            self.stats.note_route_refresh()
+            trace.event("netkv.route_adopt", epoch=local_epoch)
+        if local_epoch <= 0:
+            return  # pristine cluster: nothing worth republishing
+        doc = self._route_doc()
+        for idx, epoch in seen.items():
+            if epoch < local_epoch:
+                try:
+                    self._shard_op(idx,
+                                   lambda c, v=doc: c.set(_ROUTE_KEY, v))
+                except StoreError:
+                    pass
+
+    def _route_grace(self) -> None:
+        """Sleep out one refresh interval (plus margin) so every live
+        client has re-read the published map before the next migration
+        phase depends on it."""
+        if self.route_refresh > 0:
+            time.sleep(self.route_refresh * 1.5)
 
     def client_for(self, key: str) -> NetKVClient:
         """Legacy accessor: the dedicated client of a key's primary shard."""
@@ -1067,7 +1231,8 @@ class NetKVCluster:
 
     def set(self, key: str, value: bytes) -> None:
         self._maybe_repair()
-        window, target = self._placement(key)
+        self._maybe_refresh_route()
+        window, target, _drain = self._placement(key)
         if target is None:
             self._set_window(key, value, window)
             return
@@ -1112,7 +1277,8 @@ class NetKVCluster:
 
     def get(self, key: str) -> bytes:
         self._maybe_repair()
-        window, target = self._placement(key)
+        self._maybe_refresh_route()
+        window, target, _drain = self._placement(key)
         if target is None:
             return self._get_window(key, window)
         # Double-read while the slot migrates: the destination window
@@ -1180,14 +1346,17 @@ class NetKVCluster:
 
     def delete(self, key: str) -> None:
         self._maybe_repair()
-        window, target = self._placement(key)
-        if target is None:
+        self._maybe_refresh_route()
+        window, target, drain = self._placement(key)
+        if target is None and drain is None:
             self._delete_window(key, window)
             return
         # Delete from both windows; the forced tombstone also stops the
-        # migration copier from resurrecting this key out of a source
-        # read that predates the delete.
-        replicas = list(dict.fromkeys(target + window))
+        # migration copier (including the post-cutover straggler pass
+        # over a draining slot) from resurrecting this key out of a
+        # source read that predates the delete.
+        other = target if target is not None else drain
+        replicas = list(dict.fromkeys(other + window))
         self._delete_window(key, replicas, force_tombstone=True)
 
     def _delete_window(self, key: str, replicas: List[int],
@@ -1227,6 +1396,7 @@ class NetKVCluster:
 
     def keys(self, prefix: str = "") -> List[str]:
         self._maybe_repair()
+        self._maybe_refresh_route()
         n = len(self._pools)
         out: set = set()
         reached: set = set()
@@ -1268,12 +1438,17 @@ class NetKVCluster:
         if prefix.startswith(_TOMB):  # explicit tombstone listing (GC)
             return sorted(k for k in out if k.startswith(prefix))
         return sorted(k for k in out
-                      if not k.startswith(_TOMB) and k not in tombs)
+                      if not k.startswith(_TOMB) and k not in tombs
+                      and k != _ROUTE_KEY)
 
     def rename(self, src: str, dst: str) -> None:
         self._maybe_repair()
+        self._maybe_refresh_route()
+        special = self._migrating_slots()
         src_replicas = self._replicas_for(src)
-        if src_replicas == self._replicas_for(dst):
+        if (src_replicas == self._replicas_for(dst)
+                and not (special and (key_slot(src) in special
+                                      or key_slot(dst) in special))):
             self._rename_native(src, dst, src_replicas)
             return
         # Two-phase cross-shard move: the destination copy is fully
@@ -1353,6 +1528,7 @@ class NetKVCluster:
         up to ``config.batch_keys`` keys per round trip with per-key
         replica failover and read repair."""
         self._maybe_repair()
+        self._maybe_refresh_route()
         keys = list(keys)
         out: List[Optional[bytes]] = [None] * len(keys)
         migrating = self._migrating_slots()
@@ -1436,6 +1612,7 @@ class NetKVCluster:
         batch gets zero acknowledgements (earlier batches may have
         landed — writes are at-least-once, as with single-key retries)."""
         self._maybe_repair()
+        self._maybe_refresh_route()
         items = list(items)
         n = len(self._pools)
         migrating = self._migrating_slots()
@@ -1491,6 +1668,7 @@ class NetKVCluster:
         """Delete many keys; per-key flags say which existed on any
         replica. Batched per primary shard like :meth:`mget`."""
         self._maybe_repair()
+        self._maybe_refresh_route()
         keys = list(keys)
         flags = [False] * len(keys)
         migrating = self._migrating_slots()
@@ -1618,6 +1796,7 @@ class NetKVCluster:
                 skeys = set(self._shard_op(s, lambda c: c.keys()))
             except StoreError:
                 return  # went down again; re-queued at the next fail-back
+            skeys.discard(_ROUTE_KEY)  # lives on every shard by design
             peers = sorted({(s + d) % n for d in range(-(r - 1), r)} - {s})
             peer_keys: Dict[int, set] = {}
             all_tombs: set = set()
@@ -1628,6 +1807,7 @@ class NetKVCluster:
                     dk = set(self._shard_op(d, lambda c: c.keys()))
                 except StoreError:
                     continue
+                dk.discard(_ROUTE_KEY)
                 peer_keys[d] = dk
                 all_tombs.update(k[len(_TOMB):] for k in dk
                                  if k.startswith(_TOMB))
@@ -1676,12 +1856,13 @@ class NetKVCluster:
                         break
             # 4) prune foreign copies: keys whose slot migrated away
             # while s was down, so s missed the post-cutover cleanup.
-            # Keys of a slot still mid-migration are left alone — the
-            # source window is live routing state until cutover.
+            # Keys of a slot still mid-migration or draining are left
+            # alone — the source window is live state until the
+            # migration's own cleanup retires it.
             foreign: List[str] = []
             with self._route_lock:
                 overrides = bool(self._slot_owner)
-                migrating = set(self._migrating)
+                migrating = set(self._migrating) | set(self._draining)
             if overrides:
                 foreign = [k for k in skeys
                            if not k.startswith(_TOMB)
@@ -1713,19 +1894,38 @@ class NetKVCluster:
 
     def migrate_slots(self, slots: Iterable[int], dst: int) -> Dict[str, Any]:
         """Move primary ownership of hash ``slots`` to shard ``dst``
-        while serving reads and writes.
+        while serving reads and writes — including ones issued by
+        *other* cluster instances (a serve daemon, another CLI).
 
-        Four phases. (1) Mark the slots migrating: from here every
-        write dual-writes to both windows (destination ack required)
-        and every read double-reads (destination first). (2) Copy: scan
-        the live keys of the moving slots and write the ones the
-        destination lacks with MSETNX, so a value dual-written after
-        the scan is never clobbered by an older source read; repeat
-        until a pass copies nothing (drained). (3) Cutover: record the
-        override and bump the routing epoch — the destination window is
-        now authoritative. (4) Cleanup: delete the source-side copies
-        that no longer sit in any replica window (a shard that is down
-        for the cleanup gets the same pruning at fail-back repair).
+        The routing map is shared state: migrations publish it to the
+        shards under a reserved key that every instance polls (and
+        durable shards persist), so a migration run from a standalone
+        ``repro netkv --migrate`` process is observed by every
+        concurrent client within one ``route_refresh`` interval.
+
+        Six phases. (1) Mark + publish: adopt the newest shared map,
+        mark the slots migrating (at least one shard must accept the
+        published map), and wait out one refresh interval so every live
+        client dual-writes (destination ack required) and double-reads
+        (destination first). (2) Copy + drain: scan the live keys of
+        the moving slots and write the ones the destination lacks with
+        MSETNX, so a value dual-written after the scan is never
+        clobbered by an older source read; repeat until a pass copies
+        nothing.  If the drain never converges (e.g. the destination
+        primary is unreachable, so the presence probe keeps failing)
+        the migration aborts and rolls back instead of cutting over
+        with keys still in flight. (3) Cutover: record the override,
+        bump the epoch, publish — the destination window is now
+        authoritative; the slots enter a *draining* state in which
+        deletes tombstone both windows. (4) Drain stale routes: wait
+        another refresh interval so writes issued under the pre-mark
+        placement have landed. (5) Straggler pass: one more copy out of
+        the old window catches any such late write before it can be
+        pruned (the draining-state tombstones keep this pass from
+        resurrecting keys deleted after cutover). (6) Cleanup: delete
+        the source-side copies that no longer sit in any replica window
+        and publish the final map.  A failure after cutover leaves the
+        slots draining — re-running the same migration resumes at (5).
         """
         n = len(self._pools)
         dst = int(dst)
@@ -1735,62 +1935,135 @@ class NetKVCluster:
         for s in requested:
             if not 0 <= s < _HASH_SLOTS:
                 raise StoreError(f"slot {s} out of range 0..{_HASH_SLOTS - 1}")
+        # Adopt the newest published map first: a fresh CLI process
+        # must not publish epoch 1 over a daemon's epoch 40 state.
+        self._refresh_route()
         with self._route_lock:
+            if self._route_frozen:
+                raise StoreError("a migration is already running here")
             stuck = [s for s in requested if s in self._migrating]
             if stuck:
                 raise StoreError(f"slots already migrating: {stuck[:8]}")
+            astray = [s for s in requested
+                      if s in self._draining
+                      and self._primary_for_slot(s) != dst]
+            if astray:
+                raise StoreError(
+                    f"slots still draining toward another shard: "
+                    f"{astray[:8]}; re-run that migration to finish it")
+            # Slots already owned by dst but still draining: resume
+            # their interrupted cleanup instead of re-copying.
+            resume = {s: self._draining[s] for s in requested
+                      if s in self._draining}
             moving = [s for s in requested
-                      if self._primary_for_slot(s) != dst]
-            sources = {self._primary_for_slot(s) for s in moving}
+                      if s not in resume and self._primary_for_slot(s) != dst]
+            src_primary = {s: self._primary_for_slot(s) for s in moving}
+            src_primary.update(resume)
             for s in moving:
                 self._migrating[s] = dst
             self._routing_epoch += 1
             epoch = self._routing_epoch
-        if not moving:
+            self._route_frozen = bool(moving or resume)
+        if not moving and not resume:
             return {"slots": 0, "keys_moved": 0, "epoch": epoch}
-        trace.event("netkv.migrate_begin", slots=len(moving), dst=dst)
+        trace.event("netkv.migrate_begin", slots=len(moving),
+                    resuming=len(resume), dst=dst)
         moving_set = set(moving)
+        all_moving = moving_set | set(resume)
         dst_window = self._window(dst)
         moved = 0
         try:
-            # Phase 2: copy + drain. Writes arriving after the marker
-            # dual-write to the destination, so each pass only chases
-            # keys that predate the migration; pass 2 is normally empty.
-            for _ in range(8):
-                copied = self._copy_migrating(moving_set, dst, dst_window)
-                moved += copied
-                if copied == 0:
-                    break
-            # Phase 3: cutover.
-            with self._route_lock:
-                for s in moving:
-                    if dst == s % n:
-                        self._slot_owner.pop(s, None)  # back to default map
-                    else:
-                        self._slot_owner[s] = dst
-                    self._migrating.pop(s, None)
-                self._routing_epoch += 1
-                epoch = self._routing_epoch
+            if moving:
+                # Phase 1: publish the mark. Not best-effort — a mark
+                # nobody else can observe must not lead to a cleanup
+                # that prunes copies other writers still route to.
+                self._publish_route()
+                self._route_grace()
+                # Phase 2: copy + drain. Writes arriving after the mark
+                # dual-write to the destination, so each pass only
+                # chases keys that predate it; pass 2 is normally empty.
+                copied = 0
+                for _ in range(8):
+                    copied = self._copy_pass(moving_set, dst, dst_window,
+                                             self._replicas_for)
+                    moved += copied
+                    if copied == 0:
+                        break
+                if copied:
+                    raise StoreUnavailable(
+                        f"slot drain did not converge: the final copy "
+                        f"pass still moved {copied} key(s) — is the "
+                        f"destination primary (shard {dst}) reachable? "
+                        f"Rolled back to the source placement.")
         except BaseException:
             # Abort: un-mark so routing falls back to the source window
             # (destination copies are surplus replicas, never stale
             # truth — the source kept receiving every dual-write).
+            # Slots that were merely resuming cleanup stay draining.
             with self._route_lock:
                 for s in moving:
                     self._migrating.pop(s, None)
                 self._routing_epoch += 1
+                self._route_frozen = False
+            self._publish_route(best_effort=True)
             raise
-        # Phase 4: cleanup stale source copies.
-        self._cleanup_moved(moving_set, sources, dst_window)
+        # Phase 3: cutover.
+        with self._route_lock:
+            for s in moving:
+                if dst == s % n:
+                    self._slot_owner.pop(s, None)  # back to default map
+                else:
+                    self._slot_owner[s] = dst
+                self._migrating.pop(s, None)
+                if src_primary[s] != dst:
+                    self._draining[s] = src_primary[s]
+            self._routing_epoch += 1
+            epoch = self._routing_epoch
+        try:
+            # Publishes after cutover are best-effort: a client still
+            # on the mark-epoch map keeps dual-writing/double-reading,
+            # which stays correct against the new window — just slower.
+            self._publish_route(best_effort=True)
+            # Phase 4: wait out clients still routing under the
+            # pre-mark placement; their in-flight writes land on the
+            # old window within one refresh interval.
+            self._route_grace()
+            # Phase 5: straggler pass, reading the *old* window (the
+            # override now routes to the new one).
+            moved += self._copy_pass(
+                all_moving, dst, dst_window,
+                lambda k: self._window(src_primary[key_slot(k)]))
+            # Phase 6: cleanup stale source copies.
+            self._cleanup_moved(all_moving, set(src_primary.values()),
+                                dst_window)
+        except BaseException:
+            # Post-cutover failure: ownership stands (the drain
+            # converged) but the old copies were not fully reconciled.
+            # Leave the slots draining — deletes keep tombstoning both
+            # windows and repair leaves the old copies alone — and
+            # publish that state; re-running the migration resumes it.
+            with self._route_lock:
+                self._routing_epoch += 1
+                self._route_frozen = False
+            self._publish_route(best_effort=True)
+            raise
+        with self._route_lock:
+            for s in all_moving:
+                self._draining.pop(s, None)
+            self._routing_epoch += 1
+            epoch = self._routing_epoch
+            self._route_frozen = False
+        self._publish_route(best_effort=True)
         self.stats.note_migration(len(moving), moved)
         trace.event("netkv.migrate_cutover", slots=len(moving), keys=moved,
                     dst=dst, epoch=epoch)
         return {"slots": len(moving), "keys_moved": moved, "epoch": epoch}
 
-    def _copy_migrating(self, moving: set, dst: int,
-                        dst_window: List[int]) -> int:
+    def _copy_pass(self, moving: set, dst: int, dst_window: List[int],
+                   read_window) -> int:
         """One copy pass: push live keys of ``moving`` slots that the
-        destination primary does not hold yet. Returns keys copied."""
+        destination primary does not hold yet, reading each from
+        ``read_window(key)``. Returns keys copied."""
         candidates = [k for k in self.keys() if key_slot(k) in moving]
         copied = 0
         for chunk in _chunks(candidates, max(1, self.config.batch_keys // 2)):
@@ -1808,14 +2081,15 @@ class NetKVCluster:
                     if v is None and t is None]
             items: List[Tuple[str, bytes]] = []
             for k in need:
-                # Read the source window directly: a double-read via
+                # Read the named window directly: a double-read via
                 # get() would consult the destination window first and
                 # read-repair the value onto it on overlap, making the
                 # MSETNX below report nothing stored and the drain
-                # accounting lie. _replicas_for still routes to the
-                # source until cutover flips the override.
+                # accounting lie. Pre-cutover, _replicas_for still
+                # routes to the source; the post-cutover straggler pass
+                # passes the captured old window instead.
                 try:
-                    items.append((k, self._get_window(k, self._replicas_for(k))))
+                    items.append((k, self._get_window(k, read_window(k))))
                 except KeyNotFound:
                     continue  # deleted between the scan and this read
             if items:
@@ -1870,7 +2144,7 @@ class NetKVCluster:
             except StoreError:
                 continue  # down: fail-back repair prunes foreign copies
             doomed = [k for k in held if not k.startswith(_TOMB)
-                      and key_slot(k) in moving]
+                      and k != _ROUTE_KEY and key_slot(k) in moving]
             for chunk in _chunks(doomed, self.config.batch_keys):
                 try:
                     self._shard_op(idx, lambda c, ks=chunk: c.mdelete(ks))
@@ -1897,6 +2171,7 @@ class NetKVCluster:
             epoch = self._routing_epoch
             overrides = len(self._slot_owner)
             migrating = len(self._migrating)
+            draining = len(self._draining)
         return {
             "replication": self.replication,
             "nshards": len(shards),
@@ -1906,6 +2181,7 @@ class NetKVCluster:
             "routing_epoch": epoch,
             "slot_overrides": overrides,
             "migrating_slots": migrating,
+            "draining_slots": draining,
         }
 
     def close(self) -> None:
@@ -1935,11 +2211,13 @@ class NetKVStore(DataStore):
                 rng: Optional[np.random.Generator] = None,
                 replication: int = 1,
                 probe_cooldown: float = 0.25,
-                transport: str = "async") -> "NetKVStore":
+                transport: str = "async",
+                route_refresh: Optional[float] = None) -> "NetKVStore":
         return cls(NetKVCluster(addresses, config=config, rng=rng,
                                 replication=replication,
                                 probe_cooldown=probe_cooldown,
-                                transport=transport))
+                                transport=transport,
+                                route_refresh=route_refresh))
 
     @property
     def transport_stats(self) -> TransportStats:

@@ -182,7 +182,9 @@ class TransportStats:
     Slot-migration counters: ``migrated_slots`` / ``migrated_keys`` —
     hash slots cut over and keys copied by ``migrate_slots``;
     ``dual_writes`` — writes mirrored to both the old and new replica
-    windows while their slot was mid-migration.
+    windows while their slot was mid-migration; ``route_refreshes`` —
+    times this client adopted a newer routing map published by another
+    cluster instance.
     """
 
     def __init__(self) -> None:
@@ -208,6 +210,7 @@ class TransportStats:
         self.migrated_slots = 0
         self.migrated_keys = 0
         self.dual_writes = 0
+        self.route_refreshes = 0
         self.latency = LatencyHistogram()
 
     def note_request(self, nbytes_sent: int) -> None:
@@ -279,6 +282,10 @@ class TransportStats:
         with self._lock:
             self.dual_writes += 1
 
+    def note_route_refresh(self) -> None:
+        with self._lock:
+            self.route_refreshes += 1
+
     def as_dict(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -303,6 +310,7 @@ class TransportStats:
                 "migrated_slots": self.migrated_slots,
                 "migrated_keys": self.migrated_keys,
                 "dual_writes": self.dual_writes,
+                "route_refreshes": self.route_refreshes,
                 "latency": self.latency.as_dict(),
             }
 
@@ -316,4 +324,5 @@ class TransportStats:
             self.batched_requests = self.batched_keys = self.max_batch_keys = 0
             self.coalesced_requests = self.coalesced_keys = 0
             self.migrated_slots = self.migrated_keys = self.dual_writes = 0
+            self.route_refreshes = 0
             self.latency.reset()

@@ -1,15 +1,24 @@
 """Per-shard durability: framed append-only log, snapshots, compaction.
 
 A :class:`ShardWAL` gives one NetKV shard a crash-consistent disk image
-made of two files in its directory:
+made of a few files in its directory:
 
 * ``snapshot.bin`` — the full key space at some past moment, written
   atomically (temp file + fsync + ``os.replace`` + directory fsync).
-* ``wal.log`` — every mutation since that snapshot, one CRC-framed
-  record per logical write (deletes included, so a replayed shard does
-  not resurrect removed keys).
+* ``wal.log`` — every mutation since the last compaction began, one
+  CRC-framed record per logical write (deletes included, so a replayed
+  shard does not resurrect removed keys).
+* ``wal.log.<n>`` — sealed segments awaiting compaction.  Compaction is
+  split in two so the heavy part can run off the serving thread:
+  :meth:`begin_snapshot` (cheap: rename the live log to a sealed
+  segment and start a fresh one) runs under the shard's dispatch lock
+  together with the key-space copy, then :meth:`write_snapshot` does
+  the snapshot write + fsync on an executor and deletes the sealed
+  segments on success.  A crash between the two leaves the segments on
+  disk; recovery replays snapshot, then segments in order, then the
+  live log, so nothing acked is lost.
 
-Recovery loads the snapshot and replays the log.  A torn tail record —
+Recovery loads the snapshot and replays the log(s).  A torn tail record —
 the normal result of crashing mid-append — is *truncated*, not fatal:
 replay stops at the last frame whose length and CRC32 check out, and
 the file is cut back to that offset before appends resume.  Everything
@@ -22,6 +31,12 @@ executor thread.  One fsync therefore covers an entire pipelined burst
 (and every burst that arrived while the previous fsync was in flight),
 which is what keeps durable writes within shouting distance of the
 in-memory numbers (see ``BENCH_netkv_persist.json``).
+
+A failed write+fsync poisons the WAL rather than losing records: the
+drained buffer is pushed back in front of anything appended since, the
+file is cut back to its last known-good frame boundary, and every
+subsequent :meth:`commit` raises so the shard refuses to ack mutations
+it cannot make durable.
 
 Frame format (little-endian)::
 
@@ -101,6 +116,16 @@ def _sync_file(fh) -> None:
         os.fdatasync(fh.fileno())
     else:  # pragma: no cover - non-POSIX fallback
         os.fsync(fh.fileno())
+
+
+def _write_all(fh, data: bytes) -> None:
+    """Write every byte of ``data`` to an unbuffered file handle."""
+    view = memoryview(data)
+    while view:
+        n = fh.write(view)
+        if n is None:  # pragma: no cover - regular files always block
+            n = len(view)
+        view = view[n:]
 
 
 def fsync_dir(path: str) -> None:
@@ -222,15 +247,28 @@ class ShardWAL:
         self.synced_seq = 0    # records durable on disk
         self._sync_task: Optional[asyncio.Task] = None
         self._closed = False
+        self._failed = False   # a write+fsync raised; stop acking
+        # compaction-in-flight state (begin_snapshot .. write_snapshot)
+        self._compacting = False
+        self._frozen = b""       # pending bytes set aside by begin_snapshot
+        self._frozen_seq = 0     # seq the snapshot will cover
+        self._frozen_bytes = 0   # on-disk bytes held in sealed segments
+        self._segments: List[str] = []
+        self._seg_index = 0
+        self._dir_dirty = False  # new live log needs a directory fsync
         # counters surfaced via info() / SNAPSHOT responses
         self.appends = 0
         self.fsync_batches = 0
         self.wal_bytes = 0     # bytes written to the log since open
         self.snapshots = 0
+        self.sync_failures = 0
         self.replayed_records = 0
         self.truncated_bytes = 0
         self.recovered = self._recover()
-        self._fh = open(self._wal_path, "ab")
+        # Unbuffered: after a failed write we ftruncate back to the last
+        # good frame boundary, and a userspace buffer could flush stale
+        # bytes past it on close.
+        self._fh = open(self._wal_path, "ab", buffering=0)
         try:
             self.log_bytes = os.path.getsize(self._wal_path)
         except OSError:  # pragma: no cover
@@ -249,7 +287,15 @@ class ShardWAL:
     # -- recovery ----------------------------------------------------------
 
     def _recover(self) -> Dict[str, bytes]:
-        """Snapshot + log replay with torn-tail truncation."""
+        """Snapshot + segment + log replay with torn-tail truncation.
+
+        Sealed ``wal.log.<n>`` segments on disk mean a compaction began
+        but its snapshot never landed; they replay between the snapshot
+        and the live log, oldest first.  Replaying records the snapshot
+        already covers is harmless — every op is idempotent against the
+        state that already includes it (a rename whose source is gone
+        is a no-op), so a suffix of history can be applied twice.
+        """
         data: Dict[str, bytes] = {}
         if os.path.exists(self._snap_path):
             with open(self._snap_path, "rb") as fh:
@@ -264,19 +310,41 @@ class ShardWAL:
                 raise WALCorruption(
                     f"{self._snap_path} is damaged at byte {valid_end}")
             self.replayed_records += applied
-        if os.path.exists(self._wal_path):
-            with open(self._wal_path, "rb") as fh:
+        numbered = []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:  # pragma: no cover
+            names = []
+        prefix = _WAL_NAME + "."
+        for name in names:
+            if name.startswith(prefix) and name[len(prefix):].isdigit():
+                numbered.append((int(name[len(prefix):]),
+                                 os.path.join(self.directory, name)))
+        numbered.sort()
+        self._segments = [path for _, path in numbered]
+        self._seg_index = numbered[-1][0] + 1 if numbered else 0
+        for path in self._segments + [self._wal_path]:
+            if not os.path.exists(path):
+                continue
+            with open(path, "rb") as fh:
                 raw = fh.read()
             applied, valid_end = replay_into(raw, data)
             self.replayed_records += applied
             if valid_end != len(raw):
                 # Crash mid-append: drop the torn tail so appends
-                # resume on a frame boundary.
+                # resume on a frame boundary.  (Only the newest file
+                # can legitimately tear, but truncation is safe — a
+                # tear is always at the very end of acked history.)
                 self.truncated_bytes += len(raw) - valid_end
-                with open(self._wal_path, "r+b") as fh:
+                with open(path, "r+b") as fh:
                     fh.truncate(valid_end)
                     if self.config.fsync:
                         _sync_file(fh)
+            if path != self._wal_path:
+                self._frozen_bytes += valid_end
+        # Leftover segments do not block commits: _compacting stays
+        # False and the interrupted compaction simply retries at the
+        # next needs_compaction() trigger (the sizes still count).
         return data
 
     # -- appends (loop thread) ---------------------------------------------
@@ -314,6 +382,17 @@ class ShardWAL:
         if target is None:
             target = self.seq
         while self.synced_seq < target:
+            if self._failed:
+                raise StoreError(
+                    "WAL write failed; shard refuses to ack mutations")
+            if self._compacting:
+                # A snapshot is landing on the executor; its fsync will
+                # cover every frozen record.  Records appended *after*
+                # begin_snapshot still need a sync pass, but that pass
+                # must not run concurrently with the snapshot (ordering
+                # on failure), so just poll until the flag clears.
+                await asyncio.sleep(0.002)
+                continue
             task = self._sync_task
             if task is None:
                 task = asyncio.get_running_loop().create_task(
@@ -334,17 +413,35 @@ class ShardWAL:
     def _write_and_sync(self) -> None:
         with self._file_lock:
             with self._buf_lock:
-                if self._closed:
+                if self._closed or self._failed or self._compacting:
                     return
                 buf = bytes(self._pending)
                 self._pending.clear()
                 upto = self.seq
             if buf:
-                self._fh.write(buf)
-                if self.config.fsync:
-                    _sync_file(self._fh)
-                else:
-                    self._fh.flush()
+                try:
+                    _write_all(self._fh, buf)
+                    if self.config.fsync:
+                        _sync_file(self._fh)
+                    if self._dir_dirty and self.config.fsync:
+                        fsync_dir(self.directory)
+                except Exception as exc:
+                    # Put the records back in front of anything appended
+                    # since, cut the file back to its last good frame
+                    # boundary, and stop acking: a WAL silently missing
+                    # acked mutations is worse than a shard that
+                    # refuses writes.
+                    with self._buf_lock:
+                        self._pending[:0] = buf
+                        self._failed = True
+                        self.sync_failures += 1
+                    try:
+                        os.ftruncate(self._fh.fileno(), self.log_bytes)
+                    except OSError:  # pragma: no cover - double fault
+                        pass
+                    raise StoreError(
+                        f"WAL write+fsync failed: {exc}") from exc
+                self._dir_dirty = False
                 self.wal_bytes += len(buf)
                 self.log_bytes += len(buf)
                 self.fsync_batches += 1
@@ -354,53 +451,140 @@ class ShardWAL:
 
     # -- snapshot + compaction ---------------------------------------------
 
-    def snapshot(self, items: Iterable[Tuple[str, bytes]]) -> Dict[str, int]:
-        """Write a full snapshot and reset the log (compaction).
+    def begin_snapshot(self) -> None:
+        """Freeze the log for compaction (cheap: two renames, no data
+        I/O).
 
-        Runs synchronously on the caller's thread; the caller must hold
-        whatever lock makes ``items`` a consistent view of the shard.
-        Everything appended so far is superseded by the snapshot, so
-        pending records are dropped and outstanding :meth:`commit`
-        waiters are satisfied by the snapshot's fsync.
+        The caller holds whatever lock makes its upcoming ``items``
+        copy a consistent view of the shard and calls this inside it —
+        that lock is the sequence point making the copy and the freeze
+        agree.  Pending bytes move aside, the live log is sealed into a
+        numbered segment, and appends continue into a fresh file.
+        Until :meth:`write_snapshot` finishes, sync passes stand down
+        (commit waiters poll) so a snapshot failure cannot leave
+        post-freeze records on disk ahead of the re-queued frozen ones.
         """
-        tmp = self._snap_path + ".tmp"
         with self._file_lock:
-            if self._closed:
-                raise StoreError("WAL is closed")
-            nkeys = 0
-            with open(tmp, "wb") as fh:
-                fh.write(_SNAP_MAGIC)
-                for key, value in items:
-                    fh.write(encode_record(b"S", key.encode("utf-8"), value))
-                    nkeys += 1
-                if self.config.fsync:
-                    _sync_file(fh)
-            os.replace(tmp, self._snap_path)
-            if self.config.fsync:
-                fsync_dir(self.directory)
-            self._fh.close()
-            self._fh = open(self._wal_path, "wb")  # truncate the log
-            if self.config.fsync:
-                _sync_file(self._fh)
             with self._buf_lock:
+                if self._closed:
+                    raise StoreError("WAL is closed")
+                if self._failed:
+                    raise StoreError("WAL failed; refusing to compact")
+                if self._compacting:
+                    raise StoreError("a snapshot is already in progress")
+                self._compacting = True
+                self._frozen = bytes(self._pending)
                 self._pending.clear()
-                self.synced_seq = self.seq
-            self.log_bytes = 0
-            self.snapshots += 1
-        return {"keys": nkeys, "snapshots": self.snapshots,
-                "wal_bytes": self.wal_bytes}
+                self._frozen_seq = self.seq
+            try:
+                self._fh.close()
+                seg = f"{self._wal_path}.{self._seg_index}"
+                self._seg_index += 1
+                os.rename(self._wal_path, seg)
+                self._segments.append(seg)
+                self._frozen_bytes += self.log_bytes
+                self.log_bytes = 0
+                self._fh = open(self._wal_path, "ab", buffering=0)
+                self._dir_dirty = True  # next commit fsyncs the dir
+            except Exception:
+                # Could not seal the segment: un-freeze so commits do
+                # not poll a compaction that will never finish.
+                with self._buf_lock:
+                    self._pending[:0] = self._frozen
+                    self._frozen = b""
+                    self._compacting = False
+                    self._failed = True  # the log file state is unknown
+                raise
+
+    def write_snapshot(
+            self, items: Iterable[Tuple[str, bytes]]) -> Dict[str, int]:
+        """Write the snapshot begun by :meth:`begin_snapshot` and
+        retire the sealed segments.
+
+        Heavy (full key-space write + fsync): run it on an executor.
+        ``_file_lock`` keeps group commits out while the file work
+        happens, but the event loop stays free to serve.  On failure
+        the frozen records re-queue ahead of later appends and the
+        segments stay on disk for recovery, so nothing acked is lost.
+        """
+        committed = False
+        try:
+            with self._file_lock:
+                if self._closed:
+                    raise StoreError("WAL is closed")
+                nkeys = 0
+                tmp = self._snap_path + ".tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(_SNAP_MAGIC)
+                    for key, value in items:
+                        fh.write(encode_record(
+                            b"S", key.encode("utf-8"), value))
+                        nkeys += 1
+                    if self.config.fsync:
+                        _sync_file(fh)
+                os.replace(tmp, self._snap_path)
+                if self.config.fsync:
+                    fsync_dir(self.directory)
+                committed = True
+                for seg in self._segments:
+                    try:
+                        os.unlink(seg)
+                    except OSError:  # pragma: no cover - leftover is fine
+                        pass
+                self._segments = []
+                self._frozen_bytes = 0
+                self.snapshots += 1
+                with self._buf_lock:
+                    self._frozen = b""
+                    if self._frozen_seq > self.synced_seq:
+                        self.synced_seq = self._frozen_seq
+                    self._compacting = False
+            return {"keys": nkeys, "snapshots": self.snapshots,
+                    "wal_bytes": self.wal_bytes}
+        finally:
+            if not committed:
+                with self._buf_lock:
+                    self._pending[:0] = self._frozen
+                    self._frozen = b""
+                    self._compacting = False
+
+    def snapshot(self, items: Iterable[Tuple[str, bytes]]) -> Dict[str, int]:
+        """Synchronous snapshot + compaction for callers without an
+        event loop (CLI recovery checks, tests).  The caller must
+        ensure no concurrent appends between materializing ``items``
+        and the freeze — the async server uses the two-step form under
+        its dispatch lock instead."""
+        items = list(items)
+        self.begin_snapshot()
+        return self.write_snapshot(items)
 
     def needs_compaction(self) -> bool:
         # In-memory size tracking: this runs after every mutating
-        # command, so it must not cost a stat() syscall.
-        return (self.log_bytes + len(self._pending)
+        # command, so it must not cost a stat() syscall.  Sealed
+        # segments count so an interrupted compaction retriggers.
+        if self._compacting:
+            return False
+        return (self.log_bytes + self._frozen_bytes + len(self._pending)
                 >= self.config.compact_bytes)
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Flush whatever is buffered and close the file handle."""
-        self._write_and_sync()
+        with self._buf_lock:
+            if self._compacting:
+                # Closing mid-compaction: the sealed segments stay on
+                # disk for recovery; fold the frozen buffer back in
+                # front of later appends so the final flush writes it
+                # to the live log (which replays after the segments,
+                # preserving order).
+                self._pending[:0] = self._frozen
+                self._frozen = b""
+                self._compacting = False
+        try:
+            self._write_and_sync()
+        except StoreError:  # already poisoned; still release the handle
+            pass
         with self._file_lock, self._buf_lock:
             if not self._closed:
                 self._closed = True
@@ -420,6 +604,9 @@ class ShardWAL:
                 "fsync_batches": self.fsync_batches,
                 "wal_bytes": self.wal_bytes,
                 "snapshots": self.snapshots,
+                "segments": len(self._segments),
+                "sync_failures": self.sync_failures,
+                "failed": self._failed,
                 "replayed_records": self.replayed_records,
                 "truncated_bytes": self.truncated_bytes,
                 "recovered_keys": len(self.recovered),

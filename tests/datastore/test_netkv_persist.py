@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import contextlib
 import json
+import time
 
 import pytest
 
 from repro.datastore.aio import AsyncNetKVServer
-from repro.datastore.base import KeyNotFound, StoreError
+from repro.datastore.base import KeyNotFound, StoreError, StoreUnavailable
 from repro.datastore.netkv import (
     NetKVClient,
     NetKVCluster,
@@ -30,7 +31,8 @@ from repro.datastore.wal import DurabilityConfig
 pytestmark = [pytest.mark.persist, pytest.mark.async_transport]
 
 FAST = TransportConfig(op_timeout=2.0, connect_timeout=2.0, retries=1,
-                       backoff_base=0.01, backoff_max=0.05)
+                       backoff_base=0.01, backoff_max=0.05,
+                       route_refresh=0.05)
 
 # Tests restart shards repeatedly; skipping the real fsync keeps them
 # fast without weakening what they check (recovery reads the same
@@ -164,8 +166,9 @@ def test_migration_survives_restart_of_both_shards(tmp_path):
     Migration rewrites the *placement*; persistence rewrites *history*.
     The combination is the dangerous case: after cutover the moved keys
     live in the destination's WAL, so restarting every shard must still
-    serve every key from its new home (the cluster's slot map survives
-    in the client here; the chaos suite covers map loss separately).
+    serve every key from its new home (the routing map is also written
+    to the shards' WALs, so a fresh client recovers it too — see
+    test_migration_is_visible_to_other_cluster_instances).
     """
     servers = [durable_server(tmp_path, f"shard{i}") for i in range(3)]
     cluster = NetKVCluster([s.address for s in servers], config=FAST,
@@ -189,6 +192,161 @@ def test_migration_survives_restart_of_both_shards(tmp_path):
             assert cluster.get(f"key{i}") == b"val%d" % i
         health = cluster.replica_health()
         assert health["migrating_slots"] == 0
+    finally:
+        cluster.close()
+        for s in servers:
+            s.stop()
+
+
+@pytest.mark.multi_server
+def test_migration_is_visible_to_other_cluster_instances(tmp_path):
+    """A migration run from one process must reroute every *other*
+    client too.
+
+    The serve daemon scenario: cluster A is a long-lived client, a
+    separate CLI process (cluster B) migrates slots and prunes the
+    source copies. A's in-memory slot map is now stale — under
+    per-instance routing it would read the pruned source window and
+    get KeyNotFound for acked keys. The shared routing map published
+    to the shards closes that hole: A adopts it within one
+    ``route_refresh`` interval and keeps resolving every key.
+
+    Four shards with replication=2 make the source window [0, 1] and
+    destination window [2, 3] disjoint, so a stale map really would
+    miss — no surviving overlap replica can mask the bug.
+    """
+    servers = [durable_server(tmp_path, f"shard{i}") for i in range(4)]
+    a = NetKVCluster([s.address for s in servers], config=FAST,
+                     replication=2, probe_cooldown=0.05)
+    b = NetKVCluster([s.address for s in servers], config=FAST,
+                     replication=2, probe_cooldown=0.05)
+    try:
+        for i in range(90):
+            a.set(f"key{i}", b"val%d" % i)
+        moving = sorted({key_slot(f"key{i}") for i in range(90)
+                         if key_slot(f"key{i}") % 4 == 0})
+        result = b.migrate_slots(moving, 2)
+        assert result["slots"] >= 1 and result["epoch"] > 0
+
+        # A never heard about the migration directly; its next ops
+        # poll the shared map (the migration itself outlasts one
+        # refresh interval, so A's poll timer is already due).
+        for i in range(90):
+            assert a.get(f"key{i}") == b"val%d" % i
+        assert a.stats.route_refreshes >= 1
+        health = a.replica_health()
+        assert health["routing_epoch"] == result["epoch"]
+        assert health["migrating_slots"] == 0
+        assert health["draining_slots"] == 0
+
+        # And A's *writes* land on the new window: B reads them back.
+        a.set("post-migrate", b"fresh")
+        assert b.get("post-migrate") == b"fresh"
+
+        # A brand-new instance learns the map from the shards alone
+        # (give it one refresh interval: the first poll is lazy).
+        c = NetKVCluster([s.address for s in servers], config=FAST,
+                         replication=2, probe_cooldown=0.05)
+        try:
+            time.sleep(0.06)
+            for i in range(90):
+                assert c.get(f"key{i}") == b"val%d" % i
+            assert c.replica_health()["routing_epoch"] == result["epoch"]
+        finally:
+            c.close()
+    finally:
+        a.close()
+        b.close()
+        for s in servers:
+            s.stop()
+
+
+@pytest.mark.multi_server
+def test_nonconverging_drain_aborts_and_rolls_back(tmp_path):
+    """A drain that never converges must abort before cutover, not
+    fall through to it: cutting over with keys still in flight would
+    let cleanup prune source copies that were never delivered."""
+    servers = [durable_server(tmp_path, f"shard{i}") for i in range(2)]
+    cluster = NetKVCluster([s.address for s in servers], config=FAST,
+                           replication=1, probe_cooldown=0.05)
+    try:
+        for i in range(40):
+            cluster.set(f"key{i}", b"val%d" % i)
+        moving = sorted({key_slot(f"key{i}") for i in range(40)
+                         if key_slot(f"key{i}") % 2 == 0})
+        # Simulate a copy phase that can never finish (e.g. a writer
+        # racing the drain faster than it can chase).
+        cluster._copy_pass = lambda *a, **k: 1
+        with pytest.raises(StoreUnavailable, match="did not converge"):
+            cluster.migrate_slots(moving, 1)
+        del cluster._copy_pass  # restore the real method
+
+        # Rolled back: no slot stuck migrating or draining, ownership
+        # unchanged, every key still served from its source window.
+        health = cluster.replica_health()
+        assert health["migrating_slots"] == 0
+        assert health["draining_slots"] == 0
+        assert health["slot_overrides"] == 0
+        for i in range(40):
+            assert cluster.get(f"key{i}") == b"val%d" % i
+
+        # The abort is not sticky: the same migration succeeds once
+        # the copy pass can make progress again.
+        result = cluster.migrate_slots(moving, 1)
+        assert result["slots"] == len(moving)
+        for i in range(40):
+            assert cluster.get(f"key{i}") == b"val%d" % i
+    finally:
+        cluster.close()
+        for s in servers:
+            s.stop()
+
+
+@pytest.mark.multi_server
+def test_interrupted_cleanup_resumes_on_rerun(tmp_path):
+    """A failure after cutover leaves the slots draining; re-running
+    the same migration finishes the straggler pass and cleanup rather
+    than stranding stale source copies forever."""
+    servers = [durable_server(tmp_path, f"shard{i}") for i in range(2)]
+    cluster = NetKVCluster([s.address for s in servers], config=FAST,
+                           replication=1, probe_cooldown=0.05)
+    try:
+        for i in range(40):
+            cluster.set(f"key{i}", b"val%d" % i)
+        moving = sorted({key_slot(f"key{i}") for i in range(40)
+                         if key_slot(f"key{i}") % 2 == 0})
+
+        real_cleanup = cluster._cleanup_moved
+        calls = {"n": 0}
+
+        def flaky_cleanup(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise StoreUnavailable("cleanup interrupted")
+            return real_cleanup(*args, **kwargs)
+
+        cluster._cleanup_moved = flaky_cleanup
+        with pytest.raises(StoreUnavailable, match="cleanup interrupted"):
+            cluster.migrate_slots(moving, 1)
+
+        # Cutover stood (the drain converged) but cleanup did not run:
+        # the slots stay draining and every key is served from the new
+        # authoritative window.
+        health = cluster.replica_health()
+        assert health["migrating_slots"] == 0
+        assert health["draining_slots"] == len(moving)
+        for i in range(40):
+            assert cluster.get(f"key{i}") == b"val%d" % i
+
+        # Re-running the same migration resumes: no slots to re-copy,
+        # just the straggler pass and the deferred cleanup.
+        result = cluster.migrate_slots(moving, 1)
+        assert result["slots"] == 0
+        assert calls["n"] == 2
+        health = cluster.replica_health()
+        assert health["draining_slots"] == 0
+        for i in range(40):
+            assert cluster.get(f"key{i}") == b"val%d" % i
     finally:
         cluster.close()
         for s in servers:

@@ -201,6 +201,88 @@ def test_needs_compaction_threshold(tmp_path):
     wal.close()
 
 
+def test_begin_snapshot_seals_a_segment(tmp_path):
+    """The cheap half of compaction moves the live log aside; nothing
+    acked is lost even if the heavy half never runs (crash between the
+    two phases)."""
+    wal = ShardWAL(str(tmp_path))
+    for i in range(25):
+        wal.append_set(f"k{i}", b"v")
+    run(wal.commit())
+    wal.append_set("unsynced", b"tail")  # frozen, never fsynced
+    wal.begin_snapshot()
+    assert os.path.exists(os.path.join(str(tmp_path), "wal.log.0"))
+    assert wal.log_bytes == 0
+    wal.append_set("after", b"freeze")
+    # Close without write_snapshot: simulates dying mid-compaction.
+    wal.close()
+    state = replayed(tmp_path)
+    assert len(state) == 27
+    assert state["unsynced"] == b"tail"
+    assert state["after"] == b"freeze"
+
+
+def test_write_snapshot_retires_segments(tmp_path):
+    wal = ShardWAL(str(tmp_path))
+    for i in range(10):
+        wal.append_set(f"k{i}", b"v")
+    run(wal.commit())
+    wal.begin_snapshot()
+    items = [(f"k{i}", b"v") for i in range(10)]
+    wal.append_set("during", b"snap")
+    info = wal.write_snapshot(items)
+    assert info["keys"] == 10
+    assert not os.path.exists(os.path.join(str(tmp_path), "wal.log.0"))
+    run(wal.commit())
+    wal.close()
+    state = replayed(tmp_path)
+    assert len(state) == 11 and state["during"] == b"snap"
+
+
+def test_failed_snapshot_requeues_frozen_records(tmp_path, monkeypatch):
+    """A snapshot that cannot land must not drop the frozen buffer:
+    the records re-queue ahead of later appends and the sealed segment
+    stays on disk for recovery."""
+    wal = ShardWAL(str(tmp_path))
+    wal.append_set("frozen", b"v")  # pending, never fsynced
+    wal.begin_snapshot()
+    monkeypatch.setattr(
+        "repro.datastore.wal.os.replace",
+        lambda *a: (_ for _ in ()).throw(OSError("disk full")))
+    with pytest.raises(OSError):
+        wal.write_snapshot([("frozen", b"v")])
+    monkeypatch.undo()
+    assert os.path.exists(os.path.join(str(tmp_path), "wal.log.0"))
+    run(wal.commit())  # frozen record now syncs into the new live log
+    wal.close()
+    assert replayed(tmp_path)["frozen"] == b"v"
+
+
+def test_sync_failure_poisons_the_wal(tmp_path, monkeypatch):
+    """A failed write+fsync must not silently drop acked records: the
+    buffer is restored, the WAL flags itself failed, and commits raise
+    instead of acking."""
+    wal = ShardWAL(str(tmp_path))
+    wal.append_set("a", b"1")
+    monkeypatch.setattr(
+        "repro.datastore.wal._write_all",
+        lambda fh, data: (_ for _ in ()).throw(OSError("I/O error")))
+    with pytest.raises(StoreError):
+        run(wal.commit())
+    monkeypatch.undo()
+    assert wal.sync_failures == 1
+    assert wal.info()["failed"] is True
+    # The records were re-queued, not lost...
+    assert wal.synced_seq < wal.seq
+    # ...but the shard stays poisoned: later commits refuse to ack.
+    wal.append_set("b", b"2")
+    with pytest.raises(StoreError):
+        run(wal.commit())
+    with pytest.raises(StoreError):
+        wal.begin_snapshot()
+    wal.close()
+
+
 def test_closed_wal_refuses(tmp_path):
     wal = ShardWAL(str(tmp_path))
     wal.close()
