@@ -43,13 +43,20 @@ def pytest_configure(config):
         "snapshots, migration); set REPRO_SKIP_PERSIST=1 to skip on "
         "constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "matcher_scale: bench sweeps 4k-40k-node resource graphs "
+        "(partitioned vs flat matcher); set REPRO_SKIP_MATCHER_SCALE=1 "
+        "to skip on small CI runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
              ("REPRO_SKIP_SERVICE", "service"),
              ("REPRO_SKIP_ASYNC", "async_transport"),
-             ("REPRO_SKIP_PERSIST", "persist")]
+             ("REPRO_SKIP_PERSIST", "persist"),
+             ("REPRO_SKIP_MATCHER_SCALE", "matcher_scale")]
     for env, marker in gates:
         if not os.environ.get(env):
             continue

@@ -55,6 +55,13 @@ class TelemetryReport:
     - ``trace``: span-tracing summary when tracing is enabled — total
       ``spans`` and ``dropped`` (counts) and per-stage ``count`` /
       ``total_ms`` (milliseconds); empty when tracing is off.
+    - ``scheduler``: matcher and queue counters when the WM drives a
+      Flux-backed adapter — ``policy``, ``partitioned`` flag, match
+      ``calls`` / ``matched`` / ``failed``, traversal cost
+      (``vertices_visited``, ``partitions_skipped``), gang accounting
+      (``gang_calls`` / ``gang_matched`` / ``gang_rollbacks``), and
+      queue-level ``backfilled`` / ``preempted`` / ``gangs_placed``
+      (all counts); empty for non-Flux adapters.
     """
 
     rounds: int
@@ -67,6 +74,7 @@ class TelemetryReport:
     transport: Dict[str, Any] = field(default_factory=dict)
     replicas: Dict[str, Any] = field(default_factory=dict)
     trace: Dict[str, Any] = field(default_factory=dict)
+    scheduler: Dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, Any]:
         """The report as a JSON-serializable dict (the HTTP API payload).
@@ -137,6 +145,27 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
     tstats = getattr(wm.store, "transport_stats", None)
     health_fn = getattr(wm.store, "replica_health", None)
     tracer = trace_mod.get_tracer()
+    scheduler: Dict[str, Any] = {}
+    flux = getattr(wm.adapter, "flux", None)
+    if flux is not None:
+        st = flux.matcher.stats
+        scheduler = {
+            "policy": flux.matcher.policy.value,
+            "partitioned": flux.matcher.partitioned,
+            "calls": st.calls,
+            "matched": st.matched,
+            "failed": st.failed,
+            "vertices_visited": st.vertices_visited,
+            "partitions_skipped": st.partitions_skipped,
+            "gang_calls": st.gang_calls,
+            "gang_matched": st.gang_matched,
+            "gang_rollbacks": st.gang_rollbacks,
+            "preempt_calls": st.preempt_calls,
+            "preempt_evictions": st.preempt_evictions,
+            "backfilled": flux.queue.backfilled,
+            "preempted": flux.queue.preempted,
+            "gangs_placed": flux.queue.gangs_placed,
+        }
     return TelemetryReport(
         rounds=wm.rounds,
         counters=dict(wm.counters),
@@ -148,6 +177,7 @@ def collect_telemetry(wm: WorkflowManager) -> TelemetryReport:
         transport=tstats.as_dict() if tstats is not None else {},
         replicas=health_fn() if callable(health_fn) else {},
         trace=tracer.summary() if tracer is not None else {},
+        scheduler=scheduler,
     )
 
 
@@ -199,6 +229,17 @@ def render_report(report: TelemetryReport) -> str:
             f"{tr.get('read_repairs', 0)} read repairs, "
             f"{tr.get('shard_down_events', 0)} down / "
             f"{tr.get('shard_up_events', 0)} up events"
+        )
+    if report.scheduler:
+        sc = report.scheduler
+        lines.append(
+            f"  scheduler: {sc['policy']} "
+            f"({'partitioned' if sc['partitioned'] else 'flat'}), "
+            f"{sc['matched']}/{sc['calls']} matches, "
+            f"{sc['vertices_visited']} vertices visited, "
+            f"{sc['partitions_skipped']} partitions skipped; "
+            f"{sc['backfilled']} backfilled, {sc['preempted']} preempted, "
+            f"{sc['gangs_placed']} gangs placed"
         )
     if report.trace:
         tr = report.trace

@@ -15,13 +15,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.sched.jobspec import JobSpec
 from repro.sched.matcher import Matcher, MatchPolicy
 from repro.sched.resources import ResourceGraph, summit_like
 
-__all__ = ["EmulationResult", "paper_job_mix", "run_policy_emulation", "compare_policies"]
+__all__ = ["EmulationResult", "paper_job_mix", "run_policy_emulation",
+           "compare_policies", "ScaleProbeResult", "make_nearly_full_graph",
+           "run_matcher_scale_probe"]
 
 
 @dataclass(frozen=True)
@@ -57,11 +59,12 @@ def paper_job_mix(scale: float = 1.0) -> List[JobSpec]:
     return mix
 
 
-def run_policy_emulation(policy: MatchPolicy, scale: float = 1.0) -> EmulationResult:
+def run_policy_emulation(policy: MatchPolicy, scale: float = 1.0,
+                         partitioned: bool = True) -> EmulationResult:
     """Match the full job mix under one policy on a scaled Summit graph."""
     nnodes = max(2, int(4000 * scale))
     graph = summit_like(nnodes)
-    matcher = Matcher(graph, policy)
+    matcher = Matcher(graph, policy, partitioned=partitioned)
     mix = paper_job_mix(scale)
     t0 = time.perf_counter()
     matched = 0
@@ -85,3 +88,76 @@ def compare_policies(scale: float = 1.0) -> Dict[str, EmulationResult]:
         policy.value: run_policy_emulation(policy, scale)
         for policy in (MatchPolicy.LOW_ID_FIRST, MatchPolicy.FIRST_MATCH)
     }
+
+
+@dataclass(frozen=True)
+class ScaleProbeResult:
+    """Per-call matcher cost on a nearly-full machine of ``nnodes``.
+
+    This is the regime where the flat greedy scan degrades to O(nodes):
+    the rotating cursor is usually far from the few free nodes, so every
+    call walks most of the machine. The partitioned scan dismisses full
+    partitions with one watermark check each, which is what keeps the
+    cost sublinear in machine size.
+    """
+
+    nnodes: int
+    policy: str
+    partitioned: bool
+    probes: int
+    holes: int
+    mean_call_seconds: float
+    visits_per_call: float
+    partitions_skipped: int
+
+
+def make_nearly_full_graph(nnodes: int, holes: int = 8) -> ResourceGraph:
+    """A Summit-shaped graph with all but ``holes`` evenly spaced nodes
+    claimed whole-node — the probe scenario's fixed backdrop."""
+    graph = summit_like(nnodes)
+    hole_ids = {int(i * nnodes / holes) for i in range(holes)}
+    all_cores = list(range(graph.cores_per_node))
+    all_gpus = list(range(graph.gpus_per_node))
+    graph.claim([(nid, all_cores, all_gpus)
+                 for nid in range(nnodes) if nid not in hole_ids])
+    return graph
+
+
+def run_matcher_scale_probe(
+    nnodes: int,
+    policy: MatchPolicy,
+    partitioned: bool,
+    probes: int = 200,
+    holes: int = 8,
+    graph: Optional[ResourceGraph] = None,
+) -> ScaleProbeResult:
+    """Measure per-call match cost at ``nnodes`` with the machine nearly full.
+
+    Every node except ``holes`` evenly spaced ones is claimed whole-node;
+    each probe matches one GPU job (which can only land in a hole) and
+    releases it again, so the graph state is identical for every probe
+    and for every (policy, partitioned) variant being compared. Passing
+    a prebuilt ``graph`` (from :func:`make_nearly_full_graph`) lets a
+    sweep share one backdrop across variants — the probe leaves it
+    exactly as found.
+    """
+    if graph is None:
+        graph = make_nearly_full_graph(nnodes, holes)
+    matcher = Matcher(graph, policy, partitioned=partitioned)
+    spec = JobSpec(name="probe", ncores=3, ngpus=1)
+    t0 = time.perf_counter()
+    for _ in range(probes):
+        alloc = matcher.match(spec)
+        assert alloc is not None, "probe job must fit in a hole"
+        matcher.release(alloc)
+    wall = time.perf_counter() - t0
+    return ScaleProbeResult(
+        nnodes=nnodes,
+        policy=policy.value,
+        partitioned=partitioned,
+        probes=probes,
+        holes=holes,
+        mean_call_seconds=wall / probes,
+        visits_per_call=matcher.stats.visits_per_call(),
+        partitions_skipped=matcher.stats.partitions_skipped,
+    )

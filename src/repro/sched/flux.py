@@ -48,13 +48,18 @@ class FluxInstance:
         mode: QueueMode = QueueMode.SYNC,
         costs: Optional[QueueCosts] = None,
         cycle_interval: float = 5.0,
+        partitioned: bool = True,
+        backfill_window: int = 0,
+        preemption: bool = False,
     ) -> None:
         if cycle_interval <= 0:
             raise ValueError("cycle_interval must be positive")
         self.graph = graph
         self.loop = loop if loop is not None else EventLoop()
-        self.matcher = Matcher(graph, policy)
-        self.queue = QueueManager(self.matcher, mode=mode, costs=costs)
+        self.matcher = Matcher(graph, policy, partitioned=partitioned)
+        self.queue = QueueManager(self.matcher, mode=mode, costs=costs,
+                                  backfill_window=backfill_window,
+                                  preemption=preemption)
         self.cycle_interval = cycle_interval
         self.jobs: Dict[int, JobRecord] = {}
         self.start_log: List[tuple] = []  # (time, job_id, name) — Fig. 6 series
@@ -144,16 +149,24 @@ class FluxInstance:
             self.start_log.append((record.start_time, record.job_id, record.spec.name))
             if record.spec.duration is not None:
                 self.loop.schedule_in(
-                    record.spec.duration, self._complete, record, label="job-done"
+                    record.spec.duration, self._complete, record, record.start_time,
+                    label="job-done"
                 )
         if self.queue.backlog or self.queue.running:
             self.loop.schedule_in(self.cycle_interval, self._cycle, label="flux-cycle")
         else:
             self._cycling = False
 
-    def _complete(self, record: JobRecord) -> None:
+    def _complete(self, record: JobRecord, expected_start: Optional[float] = None) -> None:
         if record.state is not JobState.RUNNING:
-            return  # already cancelled or failed (e.g. node failure)
+            return  # already cancelled, failed, or preempted back to PENDING
+        if expected_start is not None and record.start_time != expected_start:
+            # The job was preempted and has since been requeued and
+            # restarted: this completion belongs to the evicted run.
+            # The restart scheduled its own completion for the full
+            # duration, so dropping the stale event is the requeue
+            # contract — preempted work runs again from the beginning.
+            return
         self.queue.finish(record, self.loop.now, JobState.COMPLETED)
         callback = self._on_complete.pop(record.job_id, None)
         if callback is not None:

@@ -57,6 +57,15 @@ class JobSpec:
     tag:
         Free-form identity payload (e.g. the simulation id) — the
         explicit simulation-to-job mapping of §4.3.
+    priority:
+        Scheduling priority (higher wins). A queue with preemption
+        enabled may evict running jobs of *strictly lower* priority to
+        make room for a blocked higher-priority head; evicted jobs are
+        requeued, not lost.
+    gang_id:
+        Names the co-scheduled ensemble this job belongs to. Under
+        :attr:`~repro.sched.matcher.MatchPolicy.GANG`, every queued job
+        sharing a ``gang_id`` starts all-or-nothing.
     """
 
     name: str
@@ -66,6 +75,8 @@ class JobSpec:
     duration: Optional[float] = None
     exclusive: bool = False
     tag: Optional[str] = None
+    priority: int = 0
+    gang_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.nnodes < 1:
@@ -76,6 +87,8 @@ class JobSpec:
             raise ValueError("job must request some resource")
         if self.duration is not None and self.duration < 0:
             raise ValueError("duration must be >= 0")
+        if self.gang_id is not None and not self.gang_id:
+            raise ValueError("gang_id must be a non-empty name")
 
     @property
     def total_cores(self) -> int:
@@ -128,4 +141,6 @@ class JobRecord:
             "end": self.end_time,
             "ncores": self.spec.total_cores,
             "ngpus": self.spec.total_gpus,
+            "priority": self.spec.priority,
+            "gang_id": self.spec.gang_id,
         }

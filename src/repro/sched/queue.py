@@ -26,9 +26,14 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sched.jobspec import JobRecord, JobSpec, JobState
-from repro.sched.matcher import Matcher
+from repro.sched.matcher import Matcher, MatchPolicy
 
-__all__ = ["QueueMode", "QueueCosts", "QueueManager", "CycleReport"]
+__all__ = ["QueueMode", "QueueCosts", "QueueManager", "CycleReport",
+           "DEFAULT_BACKFILL_WINDOW"]
+
+#: Window used when the matcher runs the BACKFILL policy and the queue
+#: was not given an explicit ``backfill_window``.
+DEFAULT_BACKFILL_WINDOW = 16
 
 
 class QueueMode(enum.Enum):
@@ -62,12 +67,28 @@ class CycleReport:
     time: float
     intaken: int = 0
     started: List[JobRecord] = field(default_factory=list)
+    preempted: List[JobRecord] = field(default_factory=list)
     intake_time: float = 0.0
     match_time: float = 0.0
 
 
 class QueueManager:
-    """FCFS queue (no backfilling) in front of a :class:`Matcher`."""
+    """FCFS queue in front of a :class:`Matcher`.
+
+    The campaign's throughput-oriented policy is strict FCFS with no
+    backfilling, but three richer behaviors are available:
+
+    - *backfill*: up to ``backfill_window`` jobs behind a blocked head
+      may start each cycle (auto-enabled with
+      :data:`DEFAULT_BACKFILL_WINDOW` when the matcher runs the
+      ``BACKFILL`` policy).
+    - *gang*: under the ``GANG`` policy, a head whose spec carries a
+      ``gang_id`` is matched together with every queued member of that
+      gang, all-or-nothing.
+    - *preemption*: with ``preemption=True``, a blocked head of higher
+      priority evicts the lowest-priority running jobs; evicted jobs
+      are requeued directly behind the head for restart.
+    """
 
     def __init__(
         self,
@@ -75,14 +96,20 @@ class QueueManager:
         mode: QueueMode = QueueMode.SYNC,
         costs: Optional[QueueCosts] = None,
         backfill_window: int = 0,
+        preemption: bool = False,
     ) -> None:
         if backfill_window < 0:
             raise ValueError("backfill_window must be >= 0")
+        if backfill_window == 0 and matcher.policy is MatchPolicy.BACKFILL:
+            backfill_window = DEFAULT_BACKFILL_WINDOW
         self.matcher = matcher
         self.mode = mode
         self.costs = costs or QueueCosts()
         self.backfill_window = backfill_window
+        self.preemption = preemption
         self.backfilled = 0  # jobs started ahead of a blocked head
+        self.preempted = 0   # evictions performed for higher-priority heads
+        self.gangs_placed = 0
         self.inbox: Deque[JobRecord] = deque()   # submitted, not yet ingested
         self.pending: Deque[JobRecord] = deque()  # ingested, awaiting match
         self.running: Dict[int, JobRecord] = {}
@@ -138,18 +165,112 @@ class QueueManager:
         policy knobs" include backfilling, modeled here as a bounded
         window: when the head cannot place, up to ``backfill_window``
         later jobs are tried this cycle (the head keeps its position).
+        Gang heads are matched with their whole ensemble; a blocked
+        higher-priority head may preempt when the knob is on.
         """
         while self.pending and budget > 0:
             head = self.pending[0]
-            cost = self._attempt(head, now, report)
-            budget -= cost
-            if head.state is JobState.RUNNING:
-                self.pending.popleft()
-                continue
+            if head.spec.gang_id is not None and self.matcher.policy is MatchPolicy.GANG:
+                cost, placed = self._attempt_gang(head, now, report)
+                budget -= cost
+                if placed:
+                    continue
+            else:
+                cost = self._attempt(head, now, report)
+                budget -= cost
+                if head.state is JobState.RUNNING:
+                    self.pending.popleft()
+                    continue
+                if self.preemption and budget > 0:
+                    budget -= self._attempt_preempt(head, now, report)
+                    if head.state is JobState.RUNNING:
+                        self.pending.popleft()
+                        continue
             # Head blocked. Optionally try a bounded backfill window.
             if self.backfill_window:
                 budget = self._backfill(report, now, budget)
             break
+
+    # --- gang co-placement ----------------------------------------------
+
+    def _gang_members(self, gang_id: str) -> List[JobRecord]:
+        """Queued members of a gang, head first, in submission order."""
+        return [r for r in self.pending if r.spec.gang_id == gang_id]
+
+    def _gang_complete(self, gang_id: str) -> bool:
+        """A gang with members still in the inbox is not ready to place:
+        starting a partial ensemble would defeat all-or-nothing."""
+        return not any(r.spec.gang_id == gang_id for r in self.inbox)
+
+    def _attempt_gang(self, head: JobRecord, now: float,
+                      report: CycleReport) -> Tuple[float, bool]:
+        """Co-place the head's whole gang; returns (Q-time cost, placed)."""
+        gang_id = head.spec.gang_id
+        if not self._gang_complete(gang_id):
+            return 0.0, False  # wait for the rest of the ensemble
+        members = self._gang_members(gang_id)
+        visits_before = self.matcher.stats.vertices_visited
+        allocs = self.matcher.match_gang([m.spec for m in members])
+        cost = (
+            self.costs.match_overhead * len(members)
+            + (self.matcher.stats.vertices_visited - visits_before) * self.costs.vertex_cost
+        )
+        report.match_time += cost
+        if allocs is None:
+            return cost, False
+        for record, alloc in zip(members, allocs):
+            record.allocation = alloc
+            record.state = JobState.RUNNING
+            record.start_time = now
+            self.running[record.job_id] = record
+            report.started.append(record)
+            self.pending.remove(record)
+        self.gangs_placed += 1
+        return cost, True
+
+    # --- preemption -------------------------------------------------------
+
+    def _attempt_preempt(self, head: JobRecord, now: float, report: CycleReport) -> float:
+        """Evict lower-priority running jobs to place a blocked head.
+
+        Evicted jobs go back to PENDING directly behind the head (they
+        restart as soon as capacity allows) and are reported via
+        ``report.preempted`` so the caller can discard their scheduled
+        completions.
+        """
+        victims = [
+            (rec.spec.priority, rec.job_id, rec.allocation)
+            for rec in self.running.values()
+            if rec.allocation is not None
+        ]
+        if not any(prio < head.spec.priority for prio, _, _ in victims):
+            return 0.0
+        visits_before = self.matcher.stats.vertices_visited
+        outcome = self.matcher.preempt(head.spec, victims)
+        cost = (
+            self.costs.match_overhead
+            + (self.matcher.stats.vertices_visited - visits_before) * self.costs.vertex_cost
+        )
+        report.match_time += cost
+        if outcome is None:
+            return cost
+        alloc, evicted_ids = outcome
+        requeued = [self.running.pop(job_id) for job_id in evicted_ids]
+        for record in requeued:
+            record.state = JobState.PENDING
+            record.allocation = None
+            record.start_time = None
+            report.preempted.append(record)
+            self.preempted += 1
+        # Reinsert behind the head, preserving original order.
+        for record in reversed(requeued):
+            self.pending.insert(1, record)
+        head.allocation = alloc
+        head.state = JobState.RUNNING
+        head.start_time = now
+        self.running[head.job_id] = head
+        report.started.append(head)
+        return cost
 
     def _attempt(self, record: JobRecord, now: float, report: CycleReport) -> float:
         """Try to place one job; returns the Q-time cost of the attempt."""
@@ -169,11 +290,17 @@ class QueueManager:
         return cost
 
     def _backfill(self, report: CycleReport, now: float, budget: float) -> float:
-        """Try jobs behind a blocked head, up to the window size."""
+        """Try jobs behind a blocked head, up to the window size.
+
+        Gang members never backfill individually — an ensemble only
+        starts all-or-nothing from the head of the queue.
+        """
         candidates = list(self.pending)[1: 1 + self.backfill_window]
         for record in candidates:
             if budget <= 0:
                 break
+            if record.spec.gang_id is not None:
+                continue
             budget -= self._attempt(record, now, report)
             if record.state is JobState.RUNNING:
                 self.pending.remove(record)

@@ -168,12 +168,26 @@ class ResourceGraph:
     maintained only by the graph-level operations (:meth:`claim`,
     :meth:`release`, :meth:`drain`); mutating a :class:`Node` directly
     bypasses them and is unsupported.
+
+    On top of the flat arrays the graph keeps a *partition index*:
+    nodes are grouped into fixed-size partitions (``partition_size``)
+    and each partition carries a max-free-core/max-free-GPU watermark
+    plus a count of vacant (exclusive-feasible) nodes. A request that
+    exceeds a partition's watermark cannot place anywhere inside it, so
+    the partitioned scan paths (:meth:`first_feasible_partitioned`,
+    :meth:`feasible_ids_partitioned`) skip the whole partition at the
+    cost of one summary check — what keeps first-match sublinear at
+    40k-node scale. Summaries are refreshed incrementally: claim/release
+    touch only the partitions of the nodes involved (O(partition_size)
+    per touched partition, vectorized).
     """
 
     def __init__(self, nnodes: int, cores_per_node: int, gpus_per_node: int,
-                 nsockets: int = 2) -> None:
+                 nsockets: int = 2, partition_size: int = 256) -> None:
         if nnodes < 1:
             raise ResourceError("graph needs at least one node")
+        if partition_size < 1:
+            raise ResourceError("partition_size must be >= 1")
         self.nodes = [Node(i, cores_per_node, gpus_per_node, nsockets) for i in range(nnodes)]
         self.cores_per_node = cores_per_node
         self.gpus_per_node = gpus_per_node
@@ -181,6 +195,16 @@ class ResourceGraph:
         self._fg = np.full(nnodes, gpus_per_node, dtype=np.int32)
         self._drained_mask = np.zeros(nnodes, dtype=bool)
         self.node_subtree_size = self.nodes[0].subtree_size()
+        # --- partition index -------------------------------------------
+        self.partition_size = partition_size
+        self.npartitions = (nnodes + partition_size - 1) // partition_size
+        self._part_max_fc = np.full(self.npartitions, cores_per_node, dtype=np.int32)
+        self._part_max_fg = np.full(self.npartitions, gpus_per_node, dtype=np.int32)
+        # Vacant (fully free, undrained) nodes per partition: exclusive
+        # requests can only land on these.
+        self._part_nvacant = np.array(
+            [self._partition_bounds(p)[1] - self._partition_bounds(p)[0]
+             for p in range(self.npartitions)], dtype=np.int32)
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -218,6 +242,46 @@ class ResourceGraph:
         """All vertices in the graph (the matcher's worst-case traversal)."""
         return 1 + sum(n.subtree_size() for n in self.nodes)
 
+    # --- partition index maintenance ------------------------------------
+
+    def partition_of(self, node_id: int) -> int:
+        return node_id // self.partition_size
+
+    def _partition_bounds(self, p: int) -> Tuple[int, int]:
+        lo = p * self.partition_size
+        return lo, min(lo + self.partition_size, len(self.nodes))
+
+    def _refresh_partition(self, p: int) -> None:
+        """Recompute one partition's summaries from the flat arrays.
+
+        Drained nodes count as having -1 free of everything so they can
+        never satisfy a watermark (or look vacant).
+        """
+        lo, hi = self._partition_bounds(p)
+        drained = self._drained_mask[lo:hi]
+        fc = np.where(drained, -1, self._fc[lo:hi])
+        fg = np.where(drained, -1, self._fg[lo:hi])
+        self._part_max_fc[p] = fc.max()
+        self._part_max_fg[p] = fg.max()
+        self._part_nvacant[p] = np.count_nonzero(
+            (fc == self.cores_per_node) & (fg == self.gpus_per_node)
+        )
+
+    def _refresh_partitions_of(self, node_ids) -> None:
+        for p in {nid // self.partition_size for nid in node_ids}:
+            self._refresh_partition(p)
+
+    def partition_feasible(self, p: int, ncores: int, ngpus: int,
+                           exclusive: bool = False) -> bool:
+        """Watermark check: could *any* node in partition ``p`` host one
+        unit of the request? False means the whole partition is safely
+        skippable."""
+        if exclusive:
+            return bool(self._part_nvacant[p] > 0
+                        and self.cores_per_node >= ncores
+                        and self.gpus_per_node >= ngpus)
+        return bool(self._part_max_fc[p] >= ncores and self._part_max_fg[p] >= ngpus)
+
     # --- allocation lifecycle ------------------------------------------------
 
     def claim(self, placement: Sequence[Tuple[int, Sequence[int], Sequence[int]]]) -> Allocation:
@@ -234,6 +298,7 @@ class ResourceGraph:
         for node_id, cores, gpus in placement:
             self._fc[node_id] -= len(cores)
             self._fg[node_id] -= len(gpus)
+        self._refresh_partitions_of(nid for nid, _, _ in placement)
         return Allocation(
             items=tuple((nid, tuple(c), tuple(g)) for nid, c, g in placement)
         )
@@ -243,12 +308,21 @@ class ResourceGraph:
             self.nodes[node_id].release(cores, gpus)
             self._fc[node_id] += len(cores)
             self._fg[node_id] += len(gpus)
+        self._refresh_partitions_of(nid for nid, _, _ in alloc.items)
 
     # --- vectorized feasibility (the matcher's fast path) ------------------
 
     def feasible_mask(self, ncores: int, ngpus: int, exclusive: bool = False) -> np.ndarray:
-        """Boolean mask of nodes that can host one unit of the request."""
+        """Boolean mask of nodes that can host one unit of the request.
+
+        Exclusive mode means "the whole node", but the node must still
+        be *big enough*: a vacant node with fewer cores/GPUs than the
+        per-node request would silently under-provision the job, so it
+        is not feasible.
+        """
         if exclusive:
+            if ncores > self.cores_per_node or ngpus > self.gpus_per_node:
+                return np.zeros(len(self.nodes), dtype=bool)
             mask = (self._fc == self.cores_per_node) & (self._fg == self.gpus_per_node)
         else:
             mask = (self._fc >= ncores) & (self._fg >= ngpus)
@@ -275,6 +349,8 @@ class ResourceGraph:
         machine.
         """
         n = len(self.nodes)
+        if exclusive and (ncores > self.cores_per_node or ngpus > self.gpus_per_node):
+            return [], 0
         found: List[int] = []
         scanned = 0
         pos = start % n
@@ -299,26 +375,114 @@ class ResourceGraph:
             pos = (pos + width) % n
         return found, scanned
 
+    # --- partitioned feasibility (the 40k-node fast path) ------------------
+
+    def first_feasible_partitioned(
+        self,
+        start: int,
+        need: int,
+        ncores: int,
+        ngpus: int,
+        exclusive: bool = False,
+    ) -> Tuple[List[int], int, int]:
+        """Like :meth:`first_feasible`, but watermark-skipping.
+
+        Walks the same circular node order from ``start`` but in
+        partition-aligned segments: a segment whose partition watermark
+        cannot satisfy the request is skipped wholesale (its nodes are
+        never inspected). Returns ``(node ids, nodes scanned,
+        partitions skipped)`` — the ids are identical to what the flat
+        scan would return, because the skip rule only drops partitions
+        with no feasible node at all.
+        """
+        n = len(self.nodes)
+        if exclusive and (ncores > self.cores_per_node or ngpus > self.gpus_per_node):
+            return [], 0, 0
+        psize = self.partition_size
+        start %= n
+        found: List[int] = []
+        scanned = 0
+        skipped = 0
+        # Circular walk [start, n) ++ [0, start), cut at partition edges.
+        pos, end = start, start + n
+        while pos < end and len(found) < need:
+            lo = pos % n
+            p = lo // psize
+            seg_hi = min(min((p + 1) * psize, n) - lo, end - pos)
+            pos += seg_hi
+            hi = lo + seg_hi
+            if not self.partition_feasible(p, ncores, ngpus, exclusive):
+                skipped += 1
+                continue
+            if exclusive:
+                ok = (self._fc[lo:hi] == self.cores_per_node) & (
+                    self._fg[lo:hi] == self.gpus_per_node
+                )
+            else:
+                ok = (self._fc[lo:hi] >= ncores) & (self._fg[lo:hi] >= ngpus)
+            ok &= ~self._drained_mask[lo:hi]
+            for h in np.nonzero(ok)[0]:
+                found.append(lo + int(h))
+                if len(found) >= need:
+                    return found, scanned + int(h) + 1, skipped
+            scanned += hi - lo
+        return found, scanned, skipped
+
+    def feasible_ids_partitioned(
+        self, ncores: int, ngpus: int, exclusive: bool = False
+    ) -> Tuple[np.ndarray, int, int]:
+        """Ascending feasible node ids, examining only partitions whose
+        watermark can satisfy the request.
+
+        Returns ``(ids, nodes examined, partitions skipped)``; the ids
+        equal :meth:`feasible_ids` output exactly.
+        """
+        if exclusive and (ncores > self.cores_per_node or ngpus > self.gpus_per_node):
+            return np.empty(0, dtype=np.int64), 0, 0
+        chunks: List[np.ndarray] = []
+        examined = 0
+        skipped = 0
+        for p in range(self.npartitions):
+            if not self.partition_feasible(p, ncores, ngpus, exclusive):
+                skipped += 1
+                continue
+            lo, hi = self._partition_bounds(p)
+            if exclusive:
+                ok = (self._fc[lo:hi] == self.cores_per_node) & (
+                    self._fg[lo:hi] == self.gpus_per_node
+                )
+            else:
+                ok = (self._fc[lo:hi] >= ncores) & (self._fg[lo:hi] >= ngpus)
+            ok &= ~self._drained_mask[lo:hi]
+            chunks.append(np.nonzero(ok)[0] + lo)
+            examined += hi - lo
+        ids = np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        return ids, examined, skipped
+
     # --- resilience -------------------------------------------------------------
 
     def drain(self, node_id: int) -> None:
         """Mark a node failed/draining: no new work lands on it (§4.4)."""
         self.nodes[node_id].drained = True
         self._drained_mask[node_id] = True
+        self._refresh_partition(self.partition_of(node_id))
 
     def undrain(self, node_id: int) -> None:
         self.nodes[node_id].drained = False
         self._drained_mask[node_id] = False
+        self._refresh_partition(self.partition_of(node_id))
 
     def drained_nodes(self) -> List[int]:
         return [n.node_id for n in self.nodes if n.drained]
 
 
-def summit_like(nnodes: int) -> ResourceGraph:
+def summit_like(nnodes: int, partition_size: int = 256) -> ResourceGraph:
     """A Summit-shaped partition: 2×22-core POWER9 + 6 V100 per node."""
-    return ResourceGraph(nnodes, cores_per_node=44, gpus_per_node=6, nsockets=2)
+    return ResourceGraph(nnodes, cores_per_node=44, gpus_per_node=6, nsockets=2,
+                         partition_size=partition_size)
 
 
-def lassen_like(nnodes: int) -> ResourceGraph:
+def lassen_like(nnodes: int, partition_size: int = 256) -> ResourceGraph:
     """A Lassen/Sierra-shaped partition: 2×22-core + 4 V100 per node."""
-    return ResourceGraph(nnodes, cores_per_node=44, gpus_per_node=4, nsockets=2)
+    return ResourceGraph(nnodes, cores_per_node=44, gpus_per_node=4, nsockets=2,
+                         partition_size=partition_size)

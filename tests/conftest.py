@@ -60,13 +60,20 @@ def pytest_configure(config):
         "recovery, writer-kill subprocesses); set REPRO_SKIP_PERSIST=1 "
         "to skip on constrained runners",
     )
+    config.addinivalue_line(
+        "markers",
+        "matcher_scale: test builds 10k-40k-node resource graphs for "
+        "the partitioned-matcher sweeps; set REPRO_SKIP_MATCHER_SCALE=1 "
+        "to skip on small CI runners",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
     gates = [("REPRO_SKIP_MULTI_SERVER", "multi_server"),
              ("REPRO_SKIP_SERVICE", "service"),
              ("REPRO_SKIP_ASYNC", "async_transport"),
-             ("REPRO_SKIP_PERSIST", "persist")]
+             ("REPRO_SKIP_PERSIST", "persist"),
+             ("REPRO_SKIP_MATCHER_SCALE", "matcher_scale")]
     for env, marker in gates:
         if not os.environ.get(env):
             continue

@@ -8,16 +8,25 @@ be replayed exactly.
 
 Properties:
 
-- *capacity*: across any mix of matches and releases, under either
+- *capacity*: across any mix of matches and releases, under any
   policy, no node ever has more cores/GPUs claimed than it owns, and no
   resource is double-claimed (the graph raises if a claim conflicts).
-- *conservation*: releasing everything returns the graph to fully free.
+- *conservation*: releasing everything returns the graph to fully free
+  — checked from 2-node graphs up to 40k-node graphs under churn.
 - *cursor*: the first-match round-robin cursor advances only when a
   request fully places (the PR 4 invariant) and always stays a valid
   node index.
-- *agreement*: both policies succeed or fail together on a fresh graph
-  (they differ in cost and choice, never in feasibility) for
+- *agreement*: both paper policies succeed or fail together on a fresh
+  graph (they differ in cost and choice, never in feasibility) for
   single-node requests.
+- *oracle equivalence*: the partitioned matcher is behaviorally
+  identical to the flat matcher — same allocations, same cursor, same
+  success/failure — under every policy, on mirrored call streams. Only
+  the traversal cost may differ, and then only downward (watermark
+  skips never add node visits).
+- *gang/preemption*: ensembles place all-or-nothing and preemption is
+  all-or-nothing too; neither can leak or double-claim resources, and
+  a failed attempt leaves graph and cursor untouched.
 """
 
 import numpy as np
@@ -32,11 +41,38 @@ SEEDS = range(12)
 
 def random_graph(rng):
     # Cores split across 2 sockets, so per-node core counts are even.
+    # Tiny partition sizes force multi-partition graphs so the
+    # watermark-skip machinery is always in play.
     return ResourceGraph(
         nnodes=int(rng.integers(2, 20)),
         cores_per_node=2 * int(rng.integers(1, 17)),
         gpus_per_node=int(rng.integers(0, 5)),
+        partition_size=int(rng.integers(1, 8)),
     )
+
+
+def clone_graph(graph):
+    """A fresh graph with the same shape (for mirrored-stream oracles)."""
+    return ResourceGraph(
+        nnodes=len(graph.nodes),
+        cores_per_node=graph.cores_per_node,
+        gpus_per_node=graph.gpus_per_node,
+        partition_size=graph.partition_size,
+    )
+
+
+def assert_partition_summaries_consistent(graph):
+    """Partition watermarks/vacancy must equal a recompute from scratch."""
+    for p in range(graph.npartitions):
+        lo, hi = graph._partition_bounds(p)
+        drained = graph._drained_mask[lo:hi]
+        fc = np.where(drained, -1, graph._fc[lo:hi])
+        fg = np.where(drained, -1, graph._fg[lo:hi])
+        assert graph._part_max_fc[p] == fc.max(), f"stale core watermark in partition {p}"
+        assert graph._part_max_fg[p] == fg.max(), f"stale gpu watermark in partition {p}"
+        nvacant = np.count_nonzero(
+            (fc == graph.cores_per_node) & (fg == graph.gpus_per_node))
+        assert graph._part_nvacant[p] == nvacant, f"stale vacancy count in partition {p}"
 
 
 def random_spec(rng, graph, tight=False):
@@ -147,3 +183,238 @@ def test_first_match_visits_no_more_than_exhaustive(seed):
         low.match(spec)
         fast.match(spec_b)
     assert fast.stats.vertices_visited <= low.stats.vertices_visited
+
+
+# --- partitioned-vs-flat oracle equivalence ---------------------------------
+
+
+@pytest.mark.parametrize("policy", list(MatchPolicy))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_matches_flat_oracle(policy, seed):
+    """The partitioned matcher is observationally identical to the flat
+    one on a mirrored call stream: same success/failure, same node and
+    resource ids in every allocation, same rotating cursor afterwards —
+    and never more node visits (watermark skips only remove work)."""
+    rng = np.random.default_rng(400 + seed)
+    graph_p = random_graph(rng)
+    graph_f = clone_graph(graph_p)
+    part = Matcher(graph_p, policy=policy, partitioned=True)
+    flat = Matcher(graph_f, policy=policy, partitioned=False)
+    live = []  # (partitioned alloc, flat alloc) pairs
+    for step in range(80):
+        if live and rng.random() < 0.3:
+            ap, af = live.pop(int(rng.integers(len(live))))
+            part.release(ap)
+            flat.release(af)
+            continue
+        spec = random_spec(rng, graph_p, tight=True)
+        before_p = part.stats.vertices_visited
+        before_f = flat.stats.vertices_visited
+        ap = part.match(spec)
+        af = flat.match(spec)
+        assert (ap is None) == (af is None), \
+            f"feasibility diverged (seed {seed}, step {step}, spec {spec})"
+        if ap is not None:
+            assert ap.items == af.items, \
+                f"placement diverged (seed {seed}, step {step}, spec {spec})"
+            live.append((ap, af))
+        assert part._rr_cursor == flat._rr_cursor, \
+            f"cursor diverged (seed {seed}, step {step})"
+        assert (part.stats.vertices_visited - before_p) <= \
+            (flat.stats.vertices_visited - before_f), \
+            f"partitioned scan cost more than flat (seed {seed}, step {step})"
+    assert_partition_summaries_consistent(graph_p)
+    for ap, af in live:
+        part.release(ap)
+        flat.release(af)
+    assert np.array_equal(graph_p._fc, graph_f._fc)
+    assert np.array_equal(graph_p._fg, graph_f._fg)
+
+
+# --- capacity conservation under churn at scale -----------------------------
+
+
+def _churn_and_check(nnodes, seed, ops):
+    graph = ResourceGraph(nnodes, cores_per_node=8, gpus_per_node=2,
+                          partition_size=256)
+    rng = np.random.default_rng(seed)
+    matcher = Matcher(graph, policy=MatchPolicy.FIRST_MATCH, partitioned=True)
+    live = []
+    for _ in range(ops):
+        if live and rng.random() < 0.4:
+            matcher.release(live.pop(int(rng.integers(len(live)))))
+            continue
+        spec = JobSpec(
+            name="churn",
+            ncores=int(rng.integers(1, 9)),
+            ngpus=int(rng.integers(0, 3)),
+            nnodes=int(rng.integers(1, 4)),
+            exclusive=bool(rng.random() < 0.2),
+        )
+        alloc = matcher.match(spec)
+        if alloc is not None:
+            live.append(alloc)
+    assert_partition_summaries_consistent(graph)
+    for alloc in live:
+        matcher.release(alloc)
+    assert int(graph._fc.sum()) == graph.total_cores
+    assert int(graph._fg.sum()) == graph.total_gpus
+    assert graph.free_cores == graph.total_cores
+    assert graph.free_gpus == graph.total_gpus
+    assert_partition_summaries_consistent(graph)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_capacity_conserved_under_churn_1k(seed):
+    _churn_and_check(1000, 500 + seed, ops=120)
+
+
+@pytest.mark.matcher_scale
+@pytest.mark.parametrize("seed", range(2))
+def test_capacity_conserved_under_churn_10k(seed):
+    _churn_and_check(10_000, 600 + seed, ops=120)
+
+
+@pytest.mark.matcher_scale
+@pytest.mark.parametrize("seed", range(2))
+def test_capacity_conserved_under_churn_40k(seed):
+    _churn_and_check(40_000, 700 + seed, ops=120)
+
+
+# --- first-match visit-count upper bound with skips -------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_partitioned_first_match_visit_bound(seed):
+    """Per call, the partitioned first-match charge (nodes scanned plus
+    one per skipped partition) never exceeds the graph size, and across
+    a stream it never exceeds the flat scan's total."""
+    rng = np.random.default_rng(800 + seed)
+    graph = random_graph(rng)
+    graph_flat = clone_graph(graph)
+    part = Matcher(graph, policy=MatchPolicy.FIRST_MATCH, partitioned=True)
+    flat = Matcher(graph_flat, policy=MatchPolicy.FIRST_MATCH, partitioned=False)
+    n = len(graph.nodes)
+    for _ in range(60):
+        spec = random_spec(rng, graph, tight=True)
+        before = part.stats.vertices_visited
+        ap = part.match(spec)
+        af = flat.match(spec)
+        scan_charge = part.stats.vertices_visited - before
+        if ap is not None:
+            # Subtract the claim-enumeration charge to isolate the scan.
+            scan_charge -= ap.ncores + ap.ngpus
+        assert scan_charge <= n + graph.npartitions, \
+            f"scan charged {scan_charge} on a {n}-node graph (seed {seed})"
+        if ap is not None:
+            part.release(ap)
+        if af is not None:
+            flat.release(af)
+    assert part.stats.vertices_visited <= flat.stats.vertices_visited
+    assert part.stats.partitions_skipped >= 0
+
+
+# --- gang all-or-nothing ----------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_gang_is_all_or_nothing(seed):
+    """A failed gang leaves the graph and cursor exactly as they were; a
+    placed gang holds exactly its members' resources and releases back
+    to the pre-gang state."""
+    rng = np.random.default_rng(900 + seed)
+    graph = random_graph(rng)
+    matcher = Matcher(graph, policy=MatchPolicy.GANG, partitioned=True)
+    # Pre-load some background occupancy so gangs sometimes fail.
+    background = []
+    for _ in range(int(rng.integers(0, 6))):
+        alloc = matcher.match(random_spec(rng, graph))
+        if alloc is not None:
+            background.append(alloc)
+    for _ in range(15):
+        size = int(rng.integers(1, 5))
+        gang = [
+            JobSpec(name=f"g{j}", ncores=int(rng.integers(1, graph.cores_per_node + 1)),
+                    ngpus=int(rng.integers(0, graph.gpus_per_node + 1)),
+                    gang_id="ens")
+            for j in range(size)
+        ]
+        fc_before = graph._fc.copy()
+        fg_before = graph._fg.copy()
+        cursor_before = matcher._rr_cursor
+        allocs = matcher.match_gang(gang)
+        if allocs is None:
+            assert np.array_equal(graph._fc, fc_before), \
+                f"failed gang leaked cores (seed {seed})"
+            assert np.array_equal(graph._fg, fg_before), \
+                f"failed gang leaked gpus (seed {seed})"
+            assert matcher._rr_cursor == cursor_before, \
+                f"failed gang moved the cursor (seed {seed})"
+        else:
+            assert len(allocs) == len(gang)
+            for held in allocs:
+                matcher.release(held)
+            assert np.array_equal(graph._fc, fc_before)
+            assert np.array_equal(graph._fg, fg_before)
+        assert_partition_summaries_consistent(graph)
+    for alloc in background:
+        matcher.release(alloc)
+    assert int(graph._fc.sum()) == graph.total_cores
+
+
+# --- preemption no-resource-leak --------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_preempt_never_leaks_resources(seed):
+    """Preemption evicts only strictly-lower-priority victims, and both
+    outcomes are leak-free: failure restores the graph bit-for-bit,
+    success holds exactly the new allocation plus the survivors."""
+    rng = np.random.default_rng(1000 + seed)
+    graph = random_graph(rng)
+    matcher = Matcher(graph, policy=MatchPolicy.FIRST_MATCH, partitioned=True)
+    running = {}  # key -> (priority, alloc)
+    key = 0
+    # Fill the machine with low/medium-priority work.
+    for _ in range(40):
+        prio = int(rng.integers(0, 3))
+        alloc = matcher.match(JobSpec(
+            name=f"bg{key}", ncores=int(rng.integers(1, graph.cores_per_node + 1)),
+            ngpus=int(rng.integers(0, graph.gpus_per_node + 1)), priority=prio))
+        if alloc is not None:
+            running[key] = (prio, alloc)
+            key += 1
+    for _ in range(10):
+        spec = JobSpec(
+            name="urgent", ncores=int(rng.integers(1, graph.cores_per_node + 1)),
+            ngpus=int(rng.integers(0, graph.gpus_per_node + 1)),
+            priority=int(rng.integers(0, 5)))
+        victims = [(prio, k, alloc) for k, (prio, alloc) in running.items()]
+        fc_before = graph._fc.copy()
+        fg_before = graph._fg.copy()
+        result = matcher.preempt(spec, victims)
+        if result is None:
+            assert np.array_equal(graph._fc, fc_before), \
+                f"failed preempt leaked cores (seed {seed})"
+            assert np.array_equal(graph._fg, fg_before), \
+                f"failed preempt leaked gpus (seed {seed})"
+        else:
+            placement, evicted_keys = result
+            for k in evicted_keys:
+                assert running[k][0] < spec.priority, \
+                    f"evicted an equal/higher-priority job (seed {seed})"
+                del running[k]
+            running[key] = (spec.priority, placement)
+            key += 1
+        # Accounting: free + held == total, with no double claims.
+        held = [alloc for _, alloc in running.values()]
+        assert_within_capacity(graph, held)
+        held_cores = sum(a.ncores for a in held)
+        held_gpus = sum(a.ngpus for a in held)
+        assert int(graph._fc.sum()) == graph.total_cores - held_cores
+        assert int(graph._fg.sum()) == graph.total_gpus - held_gpus
+        assert_partition_summaries_consistent(graph)
+    for _, alloc in running.values():
+        matcher.release(alloc)
+    assert int(graph._fc.sum()) == graph.total_cores
+    assert int(graph._fg.sum()) == graph.total_gpus

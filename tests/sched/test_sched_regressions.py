@@ -1,4 +1,4 @@
-"""Regression tests for two coordination-layer scheduler bugs.
+"""Regression tests for coordination-layer scheduler bugs.
 
 - The first-match matcher advanced its round-robin cursor on *partial*
   multi-node hits, so a string of failed placements rotated the scan
@@ -8,12 +8,19 @@
   still in PENDING state when the queue no longer held it
   (``cancel_pending`` returning False), so trackers observed a
   live-looking job that would never run.
+- ``Matcher._match_exclusive`` never re-checked the per-node
+  ncores/ngpus request against what the vacant node actually owns, so
+  an exclusive request larger than a node silently got the whole
+  (smaller) node — an under-provisioned allocation instead of a failed
+  match.
 """
+
+import pytest
 
 from repro.sched.flux import FluxInstance
 from repro.sched.jobspec import JobSpec, JobState
 from repro.sched.matcher import Matcher, MatchPolicy
-from repro.sched.resources import summit_like
+from repro.sched.resources import ResourceGraph, summit_like
 
 
 class TestFirstMatchCursor:
@@ -84,3 +91,43 @@ class TestCancelRaceWindow:
         flux.cancel(rec2.job_id)
         assert rec2.state is JobState.CANCELLED
         assert states == [JobState.CANCELLED, JobState.CANCELLED]
+
+
+class TestExclusiveOverRequest:
+    """Exclusive means "the whole node" — but the node must still cover
+    the per-node request. Summit-like nodes own 44 cores / 6 GPUs."""
+
+    @pytest.mark.parametrize("policy", list(MatchPolicy))
+    @pytest.mark.parametrize("partitioned", [True, False])
+    def test_exclusive_request_larger_than_node_fails(self, policy, partitioned):
+        g = summit_like(4)
+        m = Matcher(g, policy=policy, partitioned=partitioned)
+        # Regression: this used to hand back a 44-core node for a
+        # 100-core exclusive request.
+        assert m.match(JobSpec(name="too-big", ncores=100, exclusive=True)) is None
+        assert m.match(JobSpec(name="too-gpu", ncores=1, ngpus=7, exclusive=True)) is None
+        # The failed attempts must not have claimed anything.
+        assert g.free_cores == g.total_cores
+        assert g.free_gpus == g.total_gpus
+
+    def test_exclusive_at_exact_node_size_still_takes_whole_node(self):
+        g = summit_like(2)
+        m = Matcher(g, MatchPolicy.FIRST_MATCH)
+        alloc = m.match(JobSpec(name="fits", ncores=44, ngpus=6, exclusive=True))
+        assert alloc is not None
+        assert alloc.ncores == 44 and alloc.ngpus == 6
+
+    def test_exclusive_under_node_size_gets_all_resources(self):
+        # An exclusive 1-core request still receives the full node.
+        g = ResourceGraph(nnodes=1, cores_per_node=8, gpus_per_node=2)
+        m = Matcher(g, MatchPolicy.LOW_ID_FIRST)
+        alloc = m.match(JobSpec(name="whole", ncores=1, exclusive=True))
+        assert alloc is not None
+        assert alloc.ncores == 8 and alloc.ngpus == 2
+
+    def test_feasibility_mask_agrees_with_match(self):
+        g = summit_like(3)
+        assert not g.feasible_mask(100, 0, exclusive=True).any()
+        assert len(g.feasible_ids(45, 0, True)) == 0
+        ids, scanned, skipped = g.first_feasible_partitioned(0, 1, 45, 0, True)
+        assert ids == [] and scanned == 0

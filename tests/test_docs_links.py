@@ -79,6 +79,26 @@ def test_operations_handbook_documents_the_knobs():
         assert needle in text, f"OPERATIONS.md no longer documents {needle}"
 
 
+def test_design_documents_the_partitioned_matcher():
+    """DESIGN.md must keep the partitioned-matcher machinery discoverable."""
+    with open(os.path.join(ROOT, "DESIGN.md"), encoding="utf-8") as fh:
+        text = fh.read()
+    for needle in ("partition_size", "partitions_skipped", "BACKFILL", "GANG",
+                   "preempt", "match_gang", "schedule.gang", "matcher_scale",
+                   "REPRO_SKIP_MATCHER_SCALE", "BENCH_matcher.json",
+                   "test_ext_matcher_scale.py"):
+        assert needle in text, f"DESIGN.md no longer documents {needle}"
+
+
+def test_experiments_records_the_matcher_scale_sweep():
+    """EXPERIMENTS.md must carry the 4k->40k sweep row and its ledger."""
+    with open(os.path.join(ROOT, "EXPERIMENTS.md"), encoding="utf-8") as fh:
+        text = fh.read()
+    for needle in ("test_ext_matcher_scale.py", "BENCH_matcher.json",
+                   "REPRO_SKIP_MATCHER_SCALE"):
+        assert needle in text, f"EXPERIMENTS.md no longer documents {needle}"
+
+
 def test_chaos_guide_documents_the_knobs():
     """CHAOS.md must keep the operational knobs discoverable."""
     with open(os.path.join(ROOT, "CHAOS.md"), encoding="utf-8") as fh:
